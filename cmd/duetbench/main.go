@@ -1,0 +1,68 @@
+// Command duetbench regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints the same rows/series the paper
+// reports, as aligned text.
+//
+// Usage:
+//
+//	duetbench [-scale tiny|small|full] [-seeds N] [-experiment id[,id...]] [-list]
+//
+// The default small scale reproduces the paper's ratios at laptop cost
+// (see internal/experiments); -scale full approximates the paper's
+// absolute setup and takes hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"duet/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: tiny, small, or full")
+	seeds := flag.Int("seeds", 0, "override the number of repetitions (0 = scale default)")
+	expFlag := flag.String("experiment", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale, ok := experiments.ByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "duetbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seeds > 0 {
+		scale.Seeds = *seeds
+	}
+
+	var ids []string
+	if *expFlag == "" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	for _, id := range ids {
+		e, ok := experiments.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "duetbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==> %s: %s (scale %s, %d seed(s))\n", e.ID, e.Title, scale.Name, scale.Seeds)
+		start := time.Now()
+		if err := e.Run(scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "duetbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

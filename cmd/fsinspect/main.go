@@ -1,0 +1,143 @@
+// Command fsinspect builds a machine, optionally runs a workload over it,
+// and dumps the simulated state: filesystem layout and fragmentation,
+// page cache composition, device accounting, and Duet framework counters.
+// Useful for eyeballing what the substrates are doing.
+//
+// Usage:
+//
+//	fsinspect [-data-mb N] [-cache-mb N] [-warm seconds] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"duet/internal/core"
+	"duet/internal/machine"
+	"duet/internal/metrics"
+	"duet/internal/sim"
+	"duet/internal/storage"
+	"duet/internal/workload"
+)
+
+func main() {
+	var (
+		dataMB  = flag.Int64("data-mb", 128, "populated data size")
+		cacheMB = flag.Int64("cache-mb", 8, "page cache size")
+		warm    = flag.Int("warm", 10, "virtual seconds of webserver workload before the dump")
+		top     = flag.Int("top", 10, "how many files to list")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	m, err := machine.New(machine.Config{
+		Seed:         *seed,
+		DeviceBlocks: *dataMB * 256 * 4,
+		CachePages:   int(*cacheMB * 256),
+	})
+	fatal(err)
+	files, err := m.Populate(machine.DefaultPopulateSpec("/data", *dataMB*256))
+	fatal(err)
+
+	// Attach an observer session so Duet counters move.
+	sess, err := m.Duet.RegisterBlock(m.Adapter, core.StateBits)
+	fatal(err)
+
+	if *warm > 0 {
+		gen, err := workload.New(m.Eng, m.FS, files, workload.Config{
+			Personality: workload.Webserver, Dir: "/data", OpsPerSec: 50,
+		})
+		fatal(err)
+		gen.Start(m.Eng)
+		m.Eng.Go("drain", func(p *sim.Proc) {
+			buf := make([]core.Item, 256)
+			for {
+				p.Sleep(20 * sim.Millisecond)
+				for sess.FetchInto(buf) == len(buf) {
+				}
+			}
+		})
+		fatal(m.Eng.RunFor(sim.Time(*warm) * sim.Second))
+	}
+
+	fmt.Printf("== machine (seed %d, virtual time %v)\n", *seed, m.Eng.Now())
+	fmt.Printf("device: %d blocks (%d MiB), cache: %d pages (%d MiB)\n\n",
+		m.Disk.Blocks(), m.Disk.Blocks()/256, m.Cache.Config().CapacityPages, int64(m.Cache.Config().CapacityPages)/256)
+
+	fmt.Println("== filesystem")
+	fmt.Printf("files: %d, allocated blocks: %d, free blocks: %d, generation: %d\n",
+		len(files), m.FS.AllocatedBlocks(), m.FS.FreeBlocks(), m.FS.Generation())
+	dataRoot, err := m.FS.Lookup("/data")
+	fatal(err)
+	frag := m.FS.FragmentedFiles(dataRoot.Ino)
+	fmt.Printf("fragmented files: %d\n\n", len(frag))
+
+	// Top files by cached pages.
+	type fileInfo struct {
+		path    string
+		sizePg  int64
+		extents int
+		cached  int
+	}
+	var infos []fileInfo
+	for _, f := range files {
+		path, _ := m.FS.PathOf(f.Ino)
+		infos = append(infos, fileInfo{
+			path:    path,
+			sizePg:  f.SizePg,
+			extents: len(f.Extents),
+			cached:  m.Cache.FilePages(m.FS.ID(), uint64(f.Ino)),
+		})
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].cached > infos[b].cached })
+	rows := [][]string{}
+	for i, fi := range infos {
+		if i >= *top {
+			break
+		}
+		rows = append(rows, []string{
+			fi.path,
+			fmt.Sprint(fi.sizePg),
+			fmt.Sprint(fi.extents),
+			fmt.Sprint(fi.cached),
+		})
+	}
+	fmt.Printf("== top %d files by cached pages\n", *top)
+	metrics.RenderTable(os.Stdout, []string{"path", "pages", "extents", "cached"}, rows)
+
+	cs := m.Cache.Stats()
+	fmt.Printf("\n== page cache\nresident: %d pages (%d dirty), hits: %d, misses: %d, evictions: %d, writeback: %d pages\n",
+		m.Cache.Len(), m.Cache.DirtyLen(), cs.Hits, cs.Misses, cs.Evictions, cs.WritebackPages)
+
+	ds := m.Disk.Stats()
+	fmt.Printf("\n== device\nrequests: %d, busy: %v", ds.Requests, ds.BusyTime)
+	fmt.Printf(" (normal %v, idle %v)\n", ds.ByClassBusy[storage.ClassNormal], ds.ByClassBusy[storage.ClassIdle])
+	owners := make([]string, 0, len(ds.ByOwner))
+	for o := range ds.ByOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	orows := [][]string{}
+	for _, o := range owners {
+		os := ds.ByOwner[o]
+		orows = append(orows, []string{
+			o, fmt.Sprint(os.Reads), fmt.Sprint(os.Writes),
+			fmt.Sprint(os.BlocksRead), fmt.Sprint(os.BlocksWritten),
+			fmt.Sprintf("%.2f ms", os.AvgLatency().Milliseconds()),
+		})
+	}
+	metrics.RenderTable(os.Stdout, []string{"owner", "reads", "writes", "blk-rd", "blk-wr", "avg-lat"}, orows)
+
+	st := m.Duet.Stats()
+	fmt.Printf("\n== duet\nhook calls: %d, items fetched: %d, descriptors: %d (peak %d), dropped: %d, memory: %d B\n",
+		st.HookCalls, st.ItemsFetched, st.CurDescs, st.PeakDescs, st.EventsDropped, m.Duet.MemBytes())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsinspect:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,190 @@
+package duet_test
+
+// End-to-end tests of the public facade: a downstream user's view of the
+// library, exercising the documented flows from README and the examples.
+
+import (
+	"testing"
+
+	"duet"
+	"duet/internal/tasks/backup"
+	"duet/internal/tasks/defrag"
+	"duet/internal/tasks/rsync"
+	"duet/internal/tasks/scrub"
+)
+
+func newMachine(t *testing.T) (*duet.Machine, []*duet.CowInode) {
+	t.Helper()
+	m, err := duet.NewMachine(duet.MachineConfig{
+		Seed:         11,
+		DeviceBlocks: 1 << 17, // 512 MiB
+		CachePages:   2048,    // 8 MiB
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Populate(duet.DefaultPopulateSpec("/data", 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, files
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m, files := newMachine(t)
+	sess, err := m.Duet.RegisterBlock(m.Adapter, duet.EvtAdded|duet.EvtDirtied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []duet.Item
+	m.Eng.Go("reader", func(p *duet.Proc) {
+		if err := m.FS.ReadFile(p, files[0].Ino, duet.ClassNormal, "reader"); err != nil {
+			t.Error(err)
+		}
+		items = sess.Fetch(256)
+		m.Eng.Stop()
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(items)) != files[0].SizePg {
+		t.Fatalf("items = %d, want %d", len(items), files[0].SizePg)
+	}
+	for _, it := range items {
+		if !it.Flags.Has(duet.EvtAdded) {
+			t.Errorf("item %+v missing Added", it)
+		}
+	}
+}
+
+func TestFacadeMaintenancePipeline(t *testing.T) {
+	// Workload + snapshot + all three COW tasks, opportunistic, as the
+	// concurrent-maintenance example does.
+	m, files := newMachine(t)
+	gen, err := duet.NewWorkload(m, files, duet.WorkloadConfig{
+		Personality: duet.Webserver,
+		Dir:         "/data",
+		OpsPerSec:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := m.FS.Lookup("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc *duet.Scrubber
+	var bk *duet.Backup
+	var df *duet.Defrag
+	m.Eng.Go("main", func(p *duet.Proc) {
+		snap, err := m.FS.CreateSnapshot(p, "/data", "/snap")
+		if err != nil {
+			t.Error(err)
+			m.Eng.Stop()
+			return
+		}
+		gen.Start(m.Eng)
+		sc = duet.NewOpportunisticScrubber(m, scrub.DefaultConfig())
+		bk = duet.NewOpportunisticBackup(m, snap, backup.DefaultConfig())
+		df = duet.NewOpportunisticDefrag(m, root.Ino, defrag.DefaultConfig())
+		remaining := 3
+		finish := func() {
+			remaining--
+			if remaining == 0 {
+				m.Eng.Stop()
+			}
+		}
+		m.Eng.Go("scrub", func(tp *duet.Proc) { _ = sc.Run(tp); finish() })
+		m.Eng.Go("backup", func(tp *duet.Proc) { _ = bk.Run(tp); finish() })
+		m.Eng.Go("defrag", func(tp *duet.Proc) { _ = df.Run(tp); finish() })
+	})
+	if err := m.Eng.RunFor(10 * duet.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []duet.TaskReport{sc.Report, bk.Report, df.Report} {
+		if !r.Completed {
+			t.Errorf("%s did not complete: %d/%d", r.Name, r.WorkDone, r.WorkTotal)
+		}
+	}
+	// Concurrency must produce cross-task savings even at this small size.
+	if sc.Report.Saved+bk.Report.Saved == 0 {
+		t.Error("no opportunistic savings at all")
+	}
+	if gen.Stats().Ops == 0 {
+		t.Error("workload idle")
+	}
+}
+
+func TestFacadeRsync(t *testing.T) {
+	m, _ := newMachine(t)
+	dst, _, err := m.AddCowFS("sdb", 1<<17, duet.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.MkdirAll("/backup"); err != nil {
+		t.Fatal(err)
+	}
+	root, err := m.FS.Lookup("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := duet.NewOpportunisticRsync(m, root.Ino, dst, "/backup", rsync.DefaultConfig())
+	m.Eng.Go("rsync", func(p *duet.Proc) {
+		if err := r.Run(p); err != nil {
+			t.Error(err)
+		}
+		m.Eng.Stop()
+	})
+	if err := m.Eng.RunFor(duet.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Report.Completed {
+		t.Fatal("rsync incomplete")
+	}
+	// Destination holds the same data volume.
+	dstRoot, err := dst.Lookup("/backup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages int64
+	for _, f := range dst.FilesUnder(dstRoot.Ino) {
+		pages += f.SizePg
+	}
+	if pages != r.Report.WorkTotal {
+		t.Errorf("dst pages %d != src %d", pages, r.Report.WorkTotal)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() (int64, duet.Time) {
+		m, files := newMachine(t)
+		var saved int64
+		m.Eng.Go("main", func(p *duet.Proc) {
+			for i, f := range files {
+				if i%2 == 0 {
+					if err := m.FS.ReadFile(p, f.Ino, duet.ClassNormal, "w"); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			s := duet.NewOpportunisticScrubber(m, scrub.DefaultConfig())
+			if err := s.Run(p); err != nil {
+				t.Error(err)
+			}
+			saved = s.Report.Saved
+			m.Eng.Stop()
+		})
+		if err := m.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return saved, m.Eng.Now()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Errorf("nondeterministic: (%d,%v) vs (%d,%v)", s1, t1, s2, t2)
+	}
+	if s1 == 0 {
+		t.Error("no savings")
+	}
+}

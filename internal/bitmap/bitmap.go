@@ -1,0 +1,177 @@
+// Package bitmap implements sparse bitmaps whose backing storage is
+// allocated in fixed-size chunks held in a red-black tree, and released
+// when a chunk no longer contains set bits.
+//
+// This mirrors Duet's bitmap design (§4.2 of the paper): "We use a
+// red-black tree to dynamically allocate portions of the relevant and done
+// bitmaps, to represent ranges that have marked bits, and deallocate them
+// when all their bits are unmarked." Memory stays proportional to the
+// localized regions a task actually touches.
+package bitmap
+
+import (
+	"math/bits"
+
+	"duet/internal/rbtree"
+)
+
+const (
+	// ChunkBits is the number of bits covered by one allocated chunk.
+	// 32768 bits = 4 KiB of backing storage per chunk.
+	ChunkBits  = 32768
+	chunkWords = ChunkBits / 64
+)
+
+type chunk struct {
+	words [chunkWords]uint64
+	pop   int // number of set bits in this chunk
+}
+
+// Sparse is a dynamically-allocated bitmap over a conceptually unbounded
+// index space. The zero value is not usable; create with New.
+type Sparse struct {
+	chunks *rbtree.Tree[uint64, *chunk]
+	count  uint64 // total set bits
+}
+
+// New returns an empty sparse bitmap.
+func New() *Sparse {
+	return &Sparse{chunks: rbtree.New[uint64, *chunk](func(a, b uint64) bool { return a < b })}
+}
+
+func split(i uint64) (ci uint64, word int, bit uint) {
+	return i / ChunkBits, int(i % ChunkBits / 64), uint(i % 64)
+}
+
+// Set marks bit i. It reports whether the bit changed (was previously 0).
+func (s *Sparse) Set(i uint64) bool {
+	ci, w, b := split(i)
+	c, ok := s.chunks.Get(ci)
+	if !ok {
+		c = &chunk{}
+		s.chunks.Set(ci, c)
+	}
+	mask := uint64(1) << b
+	if c.words[w]&mask != 0 {
+		return false
+	}
+	c.words[w] |= mask
+	c.pop++
+	s.count++
+	return true
+}
+
+// Unset clears bit i, releasing the chunk if it becomes empty. It reports
+// whether the bit changed (was previously 1).
+func (s *Sparse) Unset(i uint64) bool {
+	ci, w, b := split(i)
+	c, ok := s.chunks.Get(ci)
+	if !ok {
+		return false
+	}
+	mask := uint64(1) << b
+	if c.words[w]&mask == 0 {
+		return false
+	}
+	c.words[w] &^= mask
+	c.pop--
+	s.count--
+	if c.pop == 0 {
+		s.chunks.Delete(ci)
+	}
+	return true
+}
+
+// Test reports whether bit i is set.
+func (s *Sparse) Test(i uint64) bool {
+	ci, w, b := split(i)
+	c, ok := s.chunks.Get(ci)
+	if !ok {
+		return false
+	}
+	return c.words[w]&(uint64(1)<<b) != 0
+}
+
+// SetRange sets bits [lo, hi) and returns how many changed.
+func (s *Sparse) SetRange(lo, hi uint64) uint64 {
+	var changed uint64
+	for i := lo; i < hi; i++ {
+		if s.Set(i) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// UnsetRange clears bits [lo, hi) and returns how many changed.
+func (s *Sparse) UnsetRange(lo, hi uint64) uint64 {
+	var changed uint64
+	for i := lo; i < hi; i++ {
+		if s.Unset(i) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Count returns the number of set bits.
+func (s *Sparse) Count() uint64 { return s.count }
+
+// Clear removes every set bit and releases all storage.
+func (s *Sparse) Clear() {
+	s.chunks = rbtree.New[uint64, *chunk](func(a, b uint64) bool { return a < b })
+	s.count = 0
+}
+
+// Chunks returns the number of allocated chunks.
+func (s *Sparse) Chunks() int { return s.chunks.Len() }
+
+// MemBytes returns the approximate backing memory in bytes, counting only
+// chunk payloads (as the paper's memory-overhead evaluation does).
+func (s *Sparse) MemBytes() int { return s.chunks.Len() * chunkWords * 8 }
+
+// IterateSet calls fn for each set bit in increasing order until fn
+// returns false.
+func (s *Sparse) IterateSet(fn func(i uint64) bool) {
+	s.chunks.Ascend(nil, func(ci uint64, c *chunk) bool {
+		base := ci * ChunkBits
+		for w := 0; w < chunkWords; w++ {
+			word := c.words[w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if !fn(base + uint64(w*64+b)) {
+					return false
+				}
+				word &^= uint64(1) << uint(b)
+			}
+		}
+		return true
+	})
+}
+
+// NextSet returns the smallest set bit >= from.
+func (s *Sparse) NextSet(from uint64) (uint64, bool) {
+	start := from / ChunkBits
+	var res uint64
+	found := false
+	s.chunks.Ascend(&start, func(ci uint64, c *chunk) bool {
+		base := ci * ChunkBits
+		for w := 0; w < chunkWords; w++ {
+			word := c.words[w]
+			if base+uint64(w*64+63) < from {
+				continue
+			}
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				idx := base + uint64(w*64+b)
+				if idx >= from {
+					res, found = idx, true
+					return false
+				}
+				word &^= uint64(1) << uint(b)
+			}
+		}
+		return true
+	})
+	return res, found
+}

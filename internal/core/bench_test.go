@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/cowfs"
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Micro-benchmarks for the hook and fetch hot paths — the real-CPU costs
+// behind the Figure 9 overhead numbers.
+
+type benchEnv struct {
+	e    *sim.Engine
+	fs   *cowfs.FS
+	c    *pagecache.Cache
+	d    *Duet
+	sess *Session
+	pgs  []*pagecache.Page
+}
+
+func newBenchEnv(b *testing.B, mask Mask) *benchEnv {
+	b.Helper()
+	e := sim.New(1)
+	disk := storage.NewDisk(e, "sda", storage.DefaultSSD(1<<16), newFIFO())
+	c := pagecache.New(e, pagecache.DefaultConfig(1<<14))
+	fs := cowfs.New(e, 1, disk, c)
+	d := New(c)
+	ad := AttachCow(d, fs)
+	f, err := fs.PopulateFile("/f", 1<<12, 1, e.DeriveRand("pop"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{e: e, fs: fs, c: c, d: d}
+	e.Go("setup", func(p *sim.Proc) {
+		defer e.Stop()
+		if err := fs.ReadFile(p, f.Ino, storage.ClassNormal, "b"); err != nil {
+			b.Error(err)
+			return
+		}
+		c.IterateFile(1, uint64(f.Ino), func(pg *pagecache.Page) bool {
+			env.pgs = append(env.pgs, pg)
+			return true
+		})
+		sess, err := d.RegisterBlock(ad, mask)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		env.sess = sess
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func BenchmarkHookEventDelivery(b *testing.B) {
+	env := newBenchEnv(b, EvtDirtied|EvtFlushed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.d.PageEvent(pagecache.EventDirtied, env.pgs[i%len(env.pgs)])
+	}
+}
+
+func BenchmarkHookStateDelivery(b *testing.B) {
+	env := newBenchEnv(b, StExists|StModified)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.d.PageEvent(pagecache.EventDirtied, env.pgs[i%len(env.pgs)])
+	}
+}
+
+func BenchmarkFetchDrain(b *testing.B) {
+	env := newBenchEnv(b, EventBits)
+	buf := make([]Item, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.d.PageEvent(pagecache.EventDirtied, env.pgs[i%len(env.pgs)])
+		if i%256 == 255 {
+			for env.sess.FetchInto(buf) == len(buf) {
+			}
+		}
+	}
+}
+
+func BenchmarkSetDoneCheckDone(b *testing.B) {
+	env := newBenchEnv(b, EventBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i % (1 << 20))
+		env.sess.SetDone(id)
+		if !env.sess.CheckDone(id) {
+			b.Fatal("done bit lost")
+		}
+		env.sess.UnsetDone(id)
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"duet/internal/pagecache"
+)
+
+// Sentinel errors.
+var (
+	ErrTooManySessions = errors.New("duet: session limit reached")
+	ErrNoSession       = errors.New("duet: session closed")
+	ErrNotCached       = errors.New("duet: file no longer cached")
+	ErrUnknownFS       = errors.New("duet: filesystem not attached")
+	ErrNotDir          = errors.New("duet: registered path is not a directory")
+)
+
+// MaxSessions is the default maximum number of concurrent sessions (the
+// module-load-time N of §4.2; it sizes the merged descriptor flag array).
+const MaxSessions = 16
+
+// FSAdapter is what Duet needs from a filesystem: the FIBMAP translation
+// for block tasks, parent-walking for file-task relevance, and path
+// resolution for GetPath. cowfs and lfs provide implementations (see
+// adapters.go).
+type FSAdapter interface {
+	// FSID identifies the filesystem in the page cache.
+	FSID() pagecache.FSID
+	// Fibmap translates (inode, page index) to a device block; ok is
+	// false when the page has no on-device location yet.
+	Fibmap(ino uint64, idx uint64) (block int64, ok bool)
+	// Within reports whether ino is inside (or is) the directory root,
+	// returning its relative path.
+	Within(ino, root uint64) (rel string, ok bool)
+	// IsDir reports whether the inode is a directory.
+	IsDir(ino uint64) bool
+	// DeviceBlocks is the capacity of the backing device.
+	DeviceBlocks() int64
+}
+
+// itemKey identifies a page in the global descriptor table.
+type itemKey struct {
+	fs  pagecache.FSID
+	ino uint64
+	idx uint64
+}
+
+type fileKey struct {
+	fs  pagecache.FSID
+	ino uint64
+}
+
+// itemDesc is the merged item descriptor of §4.2: one per page for all
+// sessions, with a per-session flag byte.
+//
+// Flag byte layout: bits 0-3 are pending event bits (EvtAdded..EvtFlushed);
+// bit 4-5 are the page's current Exists/Modified state; bits 6-7 are the
+// state as of the session's last fetch. A state notification is pending
+// when current != reported, which gives the paper's cancellation
+// semantics (add + remove between fetches = no notification).
+type itemDesc struct {
+	key    itemKey
+	flags  [MaxSessions]uint8
+	queued uint32 // per-session: descriptor is in the session's fetch queue
+}
+
+const (
+	fCurExists  = 1 << 4
+	fCurModif   = 1 << 5
+	fRepExists  = 1 << 6
+	fRepModif   = 1 << 7
+	fEventBits  = 0x0f
+	curShift    = 4
+	repShift    = 6
+	twoStateBit = 0x3
+)
+
+// pendingFor reports whether the descriptor holds undelivered information
+// for a session with the given mask.
+func pendingFor(f uint8, mask Mask) bool {
+	if f&fEventBits&uint8(mask) != 0 {
+		return true
+	}
+	st := uint8(mask>>4) & twoStateBit
+	cur := (f >> curShift) & twoStateBit
+	rep := (f >> repShift) & twoStateBit
+	return (cur^rep)&st != 0
+}
+
+// needsDesc reports whether the descriptor must stay allocated for a
+// session: it has pending events, or (for state subscribers) it records a
+// non-default current or reported state (§4.2's 2× page-cache bound).
+func needsDesc(f uint8, mask Mask) bool {
+	if f&fEventBits != 0 {
+		return true
+	}
+	st := uint8(mask>>4) & twoStateBit
+	cur := (f >> curShift) & twoStateBit
+	rep := (f >> repShift) & twoStateBit
+	return (cur|rep)&st != 0
+}
+
+// Stats tracks framework activity and cost.
+type Stats struct {
+	HookCalls     int64
+	HookNanos     int64 // real CPU nanoseconds spent in the page hook
+	FetchCalls    int64
+	FetchNanos    int64 // real CPU nanoseconds spent in Fetch
+	ItemsFetched  int64
+	EventsDropped int64 // dropped due to per-session descriptor limits
+	DescAllocs    int64
+	DescFrees     int64
+	CurDescs      int64
+	PeakDescs     int64
+}
+
+// Duet is the framework instance for one machine. It implements
+// pagecache.Hook.
+type Duet struct {
+	cache    *pagecache.Cache
+	fses     map[pagecache.FSID]FSAdapter
+	sessions [MaxSessions]*Session
+	active   []*Session // active sessions in id order
+	table    descTable
+	stats    Stats
+	// MeasureCPU enables real-time accounting of hook and fetch cost
+	// (used by the Figure 9 overhead experiment). Off by default: calling
+	// time.Now twice per page event is itself measurable.
+	MeasureCPU bool
+}
+
+// New creates a Duet instance hooked into the page cache.
+func New(cache *pagecache.Cache) *Duet {
+	d := &Duet{
+		cache: cache,
+		fses:  make(map[pagecache.FSID]FSAdapter),
+	}
+	cache.AddHook(d)
+	return d
+}
+
+// AttachFS makes a filesystem known to Duet. Pages of unattached
+// filesystems are ignored.
+func (d *Duet) AttachFS(a FSAdapter) { d.fses[a.FSID()] = a }
+
+// Stats returns live statistics.
+func (d *Duet) Stats() *Stats { return &d.stats }
+
+// table holds the merged item descriptors; descByFile indexes them per
+// file for done-marking and move handling.
+type descTable struct {
+	byKey  map[itemKey]*itemDesc
+	byFile map[fileKey]map[uint64]*itemDesc
+}
+
+func (t *descTable) init() {
+	t.byKey = make(map[itemKey]*itemDesc)
+	t.byFile = make(map[fileKey]map[uint64]*itemDesc)
+}
+
+func (t *descTable) get(k itemKey) *itemDesc { return t.byKey[k] }
+
+func (t *descTable) getOrCreate(k itemKey, st *Stats) *itemDesc {
+	if desc := t.byKey[k]; desc != nil {
+		return desc
+	}
+	desc := &itemDesc{key: k}
+	t.byKey[k] = desc
+	fk := fileKey{k.fs, k.ino}
+	m := t.byFile[fk]
+	if m == nil {
+		m = make(map[uint64]*itemDesc)
+		t.byFile[fk] = m
+	}
+	m[k.idx] = desc
+	st.DescAllocs++
+	st.CurDescs++
+	if st.CurDescs > st.PeakDescs {
+		st.PeakDescs = st.CurDescs
+	}
+	return desc
+}
+
+func (t *descTable) free(desc *itemDesc, st *Stats) {
+	delete(t.byKey, desc.key)
+	fk := fileKey{desc.key.fs, desc.key.ino}
+	if m := t.byFile[fk]; m != nil {
+		delete(m, desc.key.idx)
+		if len(m) == 0 {
+			delete(t.byFile, fk)
+		}
+	}
+	st.DescFrees++
+	st.CurDescs--
+}
+
+// ensureTable lazily initializes the descriptor table.
+func (d *Duet) ensureTable() *descTable {
+	if d.table.byKey == nil {
+		d.table.init()
+	}
+	return &d.table
+}
+
+// maybeFree releases the descriptor if no active session needs it.
+func (d *Duet) maybeFree(desc *itemDesc) {
+	if desc.queued != 0 {
+		return
+	}
+	for _, s := range d.active {
+		if needsDesc(desc.flags[s.id], s.mask) {
+			return
+		}
+	}
+	d.table.free(desc, &d.stats)
+}
+
+// PageEvent implements pagecache.Hook: it fans the event out to every
+// interested session, as §4.1 describes.
+func (d *Duet) PageEvent(ev pagecache.EventType, pg *pagecache.Page) {
+	if len(d.active) == 0 {
+		return
+	}
+	var t0 time.Time
+	if d.MeasureCPU {
+		t0 = time.Now()
+	}
+	d.stats.HookCalls++
+	for _, s := range d.active {
+		s.deliver(ev, pg.Key, pg.Dirty)
+	}
+	if d.MeasureCPU {
+		d.stats.HookNanos += time.Since(t0).Nanoseconds()
+	}
+}
+
+// KeepPage implements pagecache.EvictionAdvisor: a page whose descriptor
+// still sits in some session's fetch queue carries a hint no task has
+// consumed yet, so reclaim should prefer other victims. Enable with
+// cache.SetAdvisor(duet) — the informed-cache-replacement extension the
+// paper leaves as future work (§2).
+func (d *Duet) KeepPage(pg *pagecache.Page) bool {
+	desc := d.table.get(itemKey{pg.Key.FS, pg.Key.Ino, pg.Key.Index})
+	return desc != nil && desc.queued != 0
+}
+
+var _ pagecache.EvictionAdvisor = (*Duet)(nil)
+
+// MemBytes estimates Duet's memory footprint: descriptors plus session
+// bitmaps (the quantities §6.4 reports).
+func (d *Duet) MemBytes() int {
+	const descSize = 16 /* key */ + MaxSessions + 16 /* map node overhead */
+	n := int(d.stats.CurDescs) * descSize
+	for _, s := range d.active {
+		n += s.done.MemBytes()
+		if s.relevant != nil {
+			n += s.relevant.MemBytes()
+		}
+	}
+	return n
+}
+
+// --- move / rename handling (§4.1) ----------------------------------------
+
+// FileMoved must be called by the filesystem's VFS layer after a rename.
+// Duet updates each file session's tracking: files moved into the
+// registered directory get descriptors initialized from their cached
+// pages; files moved out get Removed notifications and stop being
+// tracked; directory renames reset the relevance/done bitmaps except for
+// fully processed files.
+func (d *Duet) FileMoved(fs pagecache.FSID, ino uint64, isDir bool, oldParent, newParent uint64) {
+	for _, s := range d.active {
+		if s.kind != fileTask || s.fsid != fs {
+			continue
+		}
+		s.handleMove(ino, isDir, oldParent, newParent)
+	}
+}
+
+var _ pagecache.Hook = (*Duet)(nil)
+
+// String summarises the instance for debugging.
+func (d *Duet) String() string {
+	return fmt.Sprintf("duet{sessions=%d descs=%d}", len(d.active), d.stats.CurDescs)
+}

@@ -1,0 +1,649 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"duet/internal/cowfs"
+	"duet/internal/iosched"
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+const testBlocks = 1 << 16
+
+type env struct {
+	e     *sim.Engine
+	disk  *storage.Disk
+	cache *pagecache.Cache
+	fs    *cowfs.FS
+	d     *Duet
+	ad    *CowAdapter
+}
+
+func newEnv(cachePages int) *env {
+	e := sim.New(1)
+	disk := storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), iosched.NewCFQ())
+	cache := pagecache.New(e, pagecache.DefaultConfig(cachePages))
+	fs := cowfs.New(e, 1, disk, cache)
+	d := New(cache)
+	ad := AttachCow(d, fs)
+	return &env{e: e, disk: disk, cache: cache, fs: fs, d: d, ad: ad}
+}
+
+func (v *env) in(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	v.e.Go("test", func(p *sim.Proc) {
+		// Stop via defer so a t.Fatal inside fn still ends the run.
+		defer v.e.Stop()
+		fn(p)
+	})
+	if err := v.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (v *env) mustPopulate(t *testing.T, path string, pages int64) *cowfs.Inode {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(len(path))))
+	f, err := v.fs.PopulateFile(path, pages, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func drain(s *Session) []Item {
+	var out []Item
+	for {
+		items := s.Fetch(64)
+		if len(items) == 0 {
+			return out
+		}
+		out = append(out, items...)
+	}
+}
+
+func TestRegisterLimits(t *testing.T) {
+	v := newEnv(256)
+	var sessions []*Session
+	for i := 0; i < MaxSessions; i++ {
+		s, err := v.d.RegisterBlock(v.ad, EvtAdded)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+	if _, err := v.d.RegisterBlock(v.ad, EvtAdded); !errors.Is(err, ErrTooManySessions) {
+		t.Errorf("17th register: %v", err)
+	}
+	// Closing one frees a slot.
+	if err := sessions[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.d.RegisterBlock(v.ad, EvtAdded); err != nil {
+		t.Errorf("register after close: %v", err)
+	}
+	if err := sessions[3].Close(); !errors.Is(err, ErrNoSession) {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRegisterFileNeedsDir(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/file", 4)
+	if _, err := v.d.RegisterFile(v.ad, uint64(f.Ino), EvtAdded); !errors.Is(err, ErrNotDir) {
+		t.Errorf("register on file: %v", err)
+	}
+}
+
+func TestBlockTaskAddedEvents(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 8)
+	v.in(t, func(p *sim.Proc) {
+		s, err := v.d.RegisterBlock(v.ad, EvtAdded|EvtDirtied)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 8 {
+			t.Fatalf("items = %d, want 8", len(items))
+		}
+		seen := map[uint64]bool{}
+		for _, it := range items {
+			if !it.Flags.Has(EvtAdded) {
+				t.Errorf("item %+v missing Added", it)
+			}
+			blk, ok := v.fs.Fibmap(f.Ino, int64(it.PageIdx))
+			if !ok || uint64(blk) != it.ID {
+				t.Errorf("item ID %d != fibmap %d", it.ID, blk)
+			}
+			seen[it.ID] = true
+		}
+		if len(seen) != 8 {
+			t.Errorf("distinct blocks = %d", len(seen))
+		}
+		// Nothing pending: descriptors freed (event-only session).
+		if v.d.Stats().CurDescs != 0 {
+			t.Errorf("CurDescs = %d after drain", v.d.Stats().CurDescs)
+		}
+	})
+}
+
+func TestDirtiedAndFlushedEvents(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 4)
+	v.in(t, func(p *sim.Proc) {
+		s, err := v.d.RegisterBlock(v.ad, EvtDirtied|EvtFlushed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.Write(p, f.Ino, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		// Writes dirty 2 pages (Added events are filtered by the mask).
+		dirtied := 0
+		for _, it := range items {
+			if it.Flags.Has(EvtDirtied) {
+				dirtied++
+			}
+		}
+		if dirtied != 2 {
+			t.Errorf("dirtied items = %d, want 2", dirtied)
+		}
+		v.fs.Sync(p)
+		items = drain(s)
+		flushed := 0
+		for _, it := range items {
+			if it.Flags.Has(EvtFlushed) {
+				flushed++
+			}
+		}
+		if flushed != 2 {
+			t.Errorf("flushed items = %d, want 2", flushed)
+		}
+	})
+}
+
+func TestEventAccumulationAcrossFetches(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 1)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, EventBits)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s) // consumes Added
+		if len(items) != 1 || !items[0].Flags.Has(EvtAdded) {
+			t.Fatalf("first fetch = %+v", items)
+		}
+		// Now remove the page; next fetch must report only Removed
+		// (the paper's §3.2 example).
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		items = drain(s)
+		if len(items) != 1 {
+			t.Fatalf("second fetch = %+v", items)
+		}
+		if items[0].Flags != EvtRemoved {
+			t.Errorf("flags = %v, want only Removed", items[0].Flags)
+		}
+	})
+}
+
+func TestStateExistsCancellation(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 1)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, StExists)
+		// Page added and removed between fetches: state reverted, no item
+		// (Table 2 semantics).
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		if items := drain(s); len(items) != 0 {
+			t.Errorf("cancelled state change still delivered: %+v", items)
+		}
+		// Add again: one Exists notification.
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 1 || !items[0].Flags.Has(StExists) {
+			t.Fatalf("exists notification = %+v", items)
+		}
+		// Remove: a state-change item with Exists cleared.
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		items = drain(s)
+		if len(items) != 1 || items[0].Flags.Has(StExists) {
+			t.Fatalf("not-exists notification = %+v", items)
+		}
+	})
+}
+
+func TestStateModified(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 1)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, StModified)
+		if err := v.fs.Write(p, f.Ino, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 1 || !items[0].Flags.Has(StModified) {
+			t.Fatalf("modified notification = %+v", items)
+		}
+		// Dirty + flush between fetches cancels.
+		if err := v.fs.Write(p, f.Ino, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		v.fs.Sync(p)
+		// After the first write the page was reported modified. Writing
+		// again and syncing leaves it clean: one notification (modified ->
+		// clean).
+		items = drain(s)
+		if len(items) != 1 || items[0].Flags.Has(StModified) {
+			t.Fatalf("clean notification = %+v", items)
+		}
+	})
+}
+
+func TestRegistrationScanSeedsExistingPages(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 6)
+	v.in(t, func(p *sim.Proc) {
+		// Cache pages BEFORE registering.
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := v.d.RegisterBlock(v.ad, StExists)
+		items := drain(s)
+		if len(items) != 6 {
+			t.Fatalf("scan items = %d, want 6", len(items))
+		}
+		for _, it := range items {
+			if !it.Flags.Has(StExists) {
+				t.Errorf("scan item %+v missing Exists", it)
+			}
+		}
+	})
+}
+
+func TestSetDoneSuppressesEvents(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 4)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		blk, _ := v.fs.Fibmap(f.Ino, 0)
+		s.SetDone(uint64(blk))
+		if !s.CheckDone(uint64(blk)) {
+			t.Error("CheckDone false after SetDone")
+		}
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 3 {
+			t.Fatalf("items = %d, want 3 (one block done)", len(items))
+		}
+		for _, it := range items {
+			if it.ID == uint64(blk) {
+				t.Error("done block delivered")
+			}
+		}
+		// UnsetDone resumes tracking.
+		s.UnsetDone(uint64(blk))
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		items = drain(s)
+		if len(items) != 4 {
+			t.Errorf("items after unset = %d, want 4", len(items))
+		}
+	})
+}
+
+func TestFileTaskRelevance(t *testing.T) {
+	v := newEnv(256)
+	v.fs.MkdirAll("/data")
+	v.fs.MkdirAll("/other")
+	fin := v.mustPopulate(t, "/data/in", 3)
+	fout := v.mustPopulate(t, "/other/out", 3)
+	data, _ := v.fs.Lookup("/data")
+	v.in(t, func(p *sim.Proc) {
+		s, err := v.d.RegisterFile(v.ad, uint64(data.Ino), StExists)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.ReadFile(p, fin.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.ReadFile(p, fout.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 3 {
+			t.Fatalf("items = %d, want 3 (only /data file)", len(items))
+		}
+		for _, it := range items {
+			if it.ID != uint64(fin.Ino) {
+				t.Errorf("item for wrong inode %d", it.ID)
+			}
+			if it.Offset != int64(it.PageIdx)*4096 {
+				t.Errorf("offset %d != pageIdx*4096", it.Offset)
+			}
+		}
+		// The outside file was marked done (irrelevant).
+		if !s.CheckDone(uint64(fout.Ino)) {
+			t.Error("irrelevant file not done-marked")
+		}
+	})
+}
+
+func TestFileTaskSetDone(t *testing.T) {
+	v := newEnv(256)
+	v.fs.MkdirAll("/data")
+	f := v.mustPopulate(t, "/data/f", 4)
+	data, _ := v.fs.Lookup("/data")
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterFile(v.ad, uint64(data.Ino), StExists)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		s.SetDone(uint64(f.Ino))
+		if items := drain(s); len(items) != 0 {
+			t.Errorf("done file delivered %d items", len(items))
+		}
+		// Further events are suppressed too.
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if items := drain(s); len(items) != 0 {
+			t.Errorf("events for done file delivered: %d", len(items))
+		}
+	})
+}
+
+func TestGetPath(t *testing.T) {
+	v := newEnv(256)
+	v.fs.MkdirAll("/data/sub")
+	f := v.mustPopulate(t, "/data/sub/f", 2)
+	data, _ := v.fs.Lookup("/data")
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterFile(v.ad, uint64(data.Ino), StExists)
+		// Not cached yet: the truth check fails.
+		if _, err := s.GetPath(uint64(f.Ino)); !errors.Is(err, ErrNotCached) {
+			t.Errorf("GetPath uncached: %v", err)
+		}
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		path, err := s.GetPath(uint64(f.Ino))
+		if err != nil || path != "sub/f" {
+			t.Errorf("GetPath = %q, %v", path, err)
+		}
+	})
+}
+
+func TestFibmapBridgeAcrossInodes(t *testing.T) {
+	// The same physical block reached via a snapshot file must hit the
+	// same done bit: backup reads benefit the scrubber and vice versa.
+	v := newEnv(256)
+	v.fs.MkdirAll("/data")
+	f := v.mustPopulate(t, "/data/f", 4)
+	v.in(t, func(p *sim.Proc) {
+		snap, err := v.fs.CreateSnapshot(p, "/data", "/snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		snapIno := snap.LiveToSnap[f.Ino]
+		// Read via the snapshot inode.
+		if err := v.fs.ReadFile(p, cowfs.Ino(snapIno), storage.ClassIdle, "backup"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 4 {
+			t.Fatalf("items = %d", len(items))
+		}
+		for _, it := range items {
+			liveBlk, _ := v.fs.Fibmap(f.Ino, int64(it.PageIdx))
+			if it.ID != uint64(liveBlk) {
+				t.Errorf("snapshot-read block %d != live block %d (should be shared)", it.ID, liveBlk)
+			}
+		}
+	})
+}
+
+func TestMoveInInitializesDescriptors(t *testing.T) {
+	v := newEnv(256)
+	v.fs.MkdirAll("/data")
+	v.fs.MkdirAll("/outside")
+	f := v.mustPopulate(t, "/outside/f", 3)
+	data, _ := v.fs.Lookup("/data")
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterFile(v.ad, uint64(data.Ino), StExists)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if items := drain(s); len(items) != 0 {
+			t.Fatalf("outside file delivered %d items", len(items))
+		}
+		if err := v.fs.Rename("/outside/f", "/data/f"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 3 {
+			t.Fatalf("move-in items = %d, want 3", len(items))
+		}
+		for _, it := range items {
+			if !it.Flags.Has(StExists) {
+				t.Errorf("move-in item %+v missing Exists", it)
+			}
+		}
+	})
+}
+
+func TestMoveOutEmitsRemoved(t *testing.T) {
+	v := newEnv(256)
+	v.fs.MkdirAll("/data")
+	v.fs.MkdirAll("/outside")
+	f := v.mustPopulate(t, "/data/f", 3)
+	data, _ := v.fs.Lookup("/data")
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterFile(v.ad, uint64(data.Ino), StExists|EvtRemoved)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		drain(s)
+		if err := v.fs.Rename("/data/f", "/outside/f"); err != nil {
+			t.Fatal(err)
+		}
+		items := drain(s)
+		if len(items) != 3 {
+			t.Fatalf("move-out items = %d, want 3", len(items))
+		}
+		for _, it := range items {
+			if !it.Flags.Has(EvtRemoved) || it.Flags.Has(StExists) {
+				t.Errorf("move-out item flags = %v", it.Flags)
+			}
+		}
+		// Future events for the moved-out file are suppressed.
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if items := drain(s); len(items) != 0 {
+			t.Errorf("moved-out file still tracked: %d items", len(items))
+		}
+	})
+}
+
+func TestDirRenameResetsBitmaps(t *testing.T) {
+	v := newEnv(256)
+	v.fs.MkdirAll("/data/sub")
+	fDone := v.mustPopulate(t, "/data/sub/done", 2)
+	fPend := v.mustPopulate(t, "/data/sub/pending", 2)
+	data, _ := v.fs.Lookup("/data")
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterFile(v.ad, uint64(data.Ino), StExists)
+		if err := v.fs.ReadFile(p, fDone.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.ReadFile(p, fPend.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		drain(s)
+		s.SetDone(uint64(fDone.Ino)) // processed: both bits set
+		if err := v.fs.Rename("/data/sub", "/data/renamed"); err != nil {
+			t.Fatal(err)
+		}
+		// Processed file keeps its done bit; the pending file must be
+		// re-checked (relevant cleared).
+		if !s.CheckDone(uint64(fDone.Ino)) {
+			t.Error("processed file lost done bit on dir rename")
+		}
+		if s.relevant.Test(uint64(fPend.Ino)) {
+			t.Error("pending file kept relevant bit on dir rename")
+		}
+		// Touching the pending file again re-establishes relevance: the
+		// page removals are tracked and delivered (fetched separately —
+		// removing and re-reading between fetches would cancel out).
+		v.cache.RemoveFile(1, uint64(fPend.Ino))
+		removedItems := drain(s)
+		if len(removedItems) != 2 {
+			t.Fatalf("removal items = %d, want 2 (file re-tracked)", len(removedItems))
+		}
+		for _, it := range removedItems {
+			if it.ID != uint64(fPend.Ino) || it.Flags.Has(StExists) {
+				t.Errorf("removal item = %+v", it)
+			}
+		}
+		if err := v.fs.ReadFile(p, fPend.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, it := range drain(s) {
+			if it.ID == uint64(fPend.Ino) && it.Flags.Has(StExists) {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("pending file not re-tracked after rename")
+		}
+	})
+}
+
+func TestQueueLimitDropsEvents(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 16)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		s.MaxItems = 4
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if s.QueueLen() != 4 {
+			t.Errorf("QueueLen = %d, want 4", s.QueueLen())
+		}
+		if s.Dropped != 12 {
+			t.Errorf("Dropped = %d, want 12", s.Dropped)
+		}
+		items := drain(s)
+		if len(items) != 4 {
+			t.Errorf("fetched = %d", len(items))
+		}
+	})
+}
+
+func TestDescriptorBoundsForStateSessions(t *testing.T) {
+	v := newEnv(64)
+	f := v.mustPopulate(t, "/f", 32)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, StExists)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		drain(s)
+		// All pages reported as existing: descriptors must persist (they
+		// record the reported state), bounded by cached pages.
+		if got := v.d.Stats().CurDescs; got != 32 {
+			t.Errorf("CurDescs = %d, want 32 (state sessions keep them)", got)
+		}
+		// Remove + fetch: state returns to default, descriptors free.
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		drain(s)
+		if got := v.d.Stats().CurDescs; got != 0 {
+			t.Errorf("CurDescs = %d after remove+fetch, want 0", got)
+		}
+		if v.d.MemBytes() < 0 {
+			t.Error("MemBytes negative")
+		}
+	})
+}
+
+func TestCloseReleasesDescriptors(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 8)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, StExists)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if v.d.Stats().CurDescs == 0 {
+			t.Fatal("no descriptors allocated")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := v.d.Stats().CurDescs; got != 0 {
+			t.Errorf("CurDescs = %d after Close", got)
+		}
+		if n := s.FetchInto(make([]Item, 4)); n != 0 {
+			t.Errorf("fetch on closed session = %d", n)
+		}
+	})
+}
+
+func TestTwoSessionsIndependentFlags(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 4)
+	v.in(t, func(p *sim.Proc) {
+		s1, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		s2, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		// s1 fetches; s2's pending events must be unaffected.
+		if got := len(drain(s1)); got != 4 {
+			t.Fatalf("s1 items = %d", got)
+		}
+		if got := len(drain(s2)); got != 4 {
+			t.Fatalf("s2 items = %d", got)
+		}
+	})
+}
+
+func TestMaskString(t *testing.T) {
+	if got := (EvtAdded | StExists).String(); got != "Added|Exists" {
+		t.Errorf("String = %q", got)
+	}
+	if Mask(0).String() != "none" {
+		t.Error("zero mask string")
+	}
+}
+
+func TestDuetString(t *testing.T) {
+	v := newEnv(64)
+	if v.d.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,72 @@
+// Package core implements Duet, the storage maintenance framework of the
+// paper: it hooks into the page cache (internal/pagecache), tracks
+// page-level events in merged item descriptors, and exposes the paper's
+// API (Table 1) to maintenance tasks — register/deregister, fetch,
+// check/set/unset-done, and get-path.
+//
+// Terminology follows the paper: a *block task* registers against a
+// device and receives items keyed by block number; a *file task*
+// registers against a directory and receives items keyed by inode number
+// and file offset. Tasks may subscribe to event notifications (a page was
+// Added/Removed/Dirtied/Flushed) or state notifications (the page's
+// existence or modification state changed since the last fetch, with
+// intervening reversals cancelling out — Table 2).
+package core
+
+import "strings"
+
+// Mask selects the notification types a session subscribes to, and is
+// also the type of the per-item flag word returned by Fetch (six bits:
+// four events and two states, as in §3.2).
+type Mask uint8
+
+// Notification bits.
+const (
+	// EvtAdded fires when a page is added to the page cache.
+	EvtAdded Mask = 1 << iota
+	// EvtRemoved fires when a page is removed from the page cache.
+	EvtRemoved
+	// EvtDirtied fires when a page's dirty bit is set.
+	EvtDirtied
+	// EvtFlushed fires when a page's dirty bit is cleared (writeback).
+	EvtFlushed
+	// StExists notifies when a page's presence in the cache has changed
+	// since the last fetch; in returned flags the bit reflects the
+	// current state (set = the page exists).
+	StExists
+	// StModified notifies when a page's modification state has changed
+	// since the last fetch; in returned flags the bit reflects the
+	// current state (set = the page is dirty).
+	StModified
+)
+
+// EventBits selects all event notifications.
+const EventBits = EvtAdded | EvtRemoved | EvtDirtied | EvtFlushed
+
+// StateBits selects all state notifications.
+const StateBits = StExists | StModified
+
+// String renders the mask, e.g. "Added|Dirtied".
+func (m Mask) String() string {
+	if m == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Mask
+		name string
+	}{
+		{EvtAdded, "Added"}, {EvtRemoved, "Removed"},
+		{EvtDirtied, "Dirtied"}, {EvtFlushed, "Flushed"},
+		{StExists, "Exists"}, {StModified, "Modified"},
+	}
+	var parts []string
+	for _, n := range names {
+		if m&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Has reports whether all bits in q are set.
+func (m Mask) Has(q Mask) bool { return m&q == q }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"duet/internal/cowfs"
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Property test for the state-notification semantics of Table 2: for any
+// sequence of page-cache operations on one page, interleaved with
+// fetches, a state-subscribed session must
+//
+//  1. deliver an item exactly when the page's (exists, modified) state
+//     differs from the state at the previous fetch (cancellation), and
+//  2. report the *current* state in the item's flag bits.
+//
+// The reference model below tracks the page state directly.
+
+type pageOp uint8
+
+const (
+	opRead  pageOp = iota // bring the page in (hit or miss)
+	opWrite               // dirty it
+	opSync                // flush dirty pages
+	opEvict               // reclaim the page (clean eviction: flush first)
+	opFetch               // task fetches
+)
+
+func TestQuickStateNotificationSemantics(t *testing.T) {
+	f := func(rawOps []uint8) bool {
+		e := sim.New(1)
+		disk := storage.NewDisk(e, "sda", storage.DefaultSSD(1<<12), newFIFO())
+		cache := pagecache.New(e, pagecache.DefaultConfig(64))
+		fs := cowfs.New(e, 1, disk, cache)
+		d := New(cache)
+		ad := AttachCow(d, fs)
+
+		file, err := fs.PopulateFile("/f", 1, 1, e.DeriveRand("pop"))
+		if err != nil {
+			return false
+		}
+		ok := true
+		e.Go("drive", func(p *sim.Proc) {
+			defer e.Stop()
+			sess, err := d.RegisterBlock(ad, StExists|StModified)
+			if err != nil {
+				ok = false
+				return
+			}
+			// Model state.
+			exists, modified := false, false
+			repExists, repModified := false, false
+
+			apply := func(op pageOp) {
+				switch op {
+				case opRead:
+					if err := fs.ReadFile(p, file.Ino, storage.ClassNormal, "w"); err != nil {
+						ok = false
+						return
+					}
+					exists = true
+				case opWrite:
+					if err := fs.Write(p, file.Ino, 0, 1); err != nil {
+						ok = false
+						return
+					}
+					exists, modified = true, true
+				case opSync:
+					fs.Sync(p)
+					if exists {
+						modified = false
+					}
+				case opEvict:
+					// Reclaim evicts clean pages; a dirty page is written
+					// back first (dropping dirty data would lose the write,
+					// which the checksum layer would then rightly flag).
+					fs.Sync(p)
+					if exists {
+						modified = false
+					}
+					cache.RemoveFile(fs.ID(), uint64(file.Ino))
+					exists, modified = false, false
+				case opFetch:
+					items := sess.Fetch(16)
+					changed := exists != repExists || modified != repModified
+					if changed {
+						if len(items) != 1 {
+							ok = false
+							return
+						}
+						it := items[0]
+						if it.Flags.Has(StExists) != exists || it.Flags.Has(StModified) != modified {
+							ok = false
+							return
+						}
+					} else if len(items) != 0 {
+						ok = false
+						return
+					}
+					repExists, repModified = exists, modified
+				}
+			}
+			for _, raw := range rawOps {
+				apply(pageOp(raw % 5))
+				if !ok {
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fifoSched is a minimal scheduler so this white-box test does not import
+// internal/iosched (which would be fine, but keeps the test self-reliant).
+func newFIFO() storage.Scheduler { return fifoSched{q: &[]*storage.Request{}} }
+
+type fifoSched struct{ q *[]*storage.Request }
+
+func (s fifoSched) Name() string           { return "fifo-test" }
+func (s fifoSched) Add(r *storage.Request) { *s.q = append(*s.q, r) }
+func (s fifoSched) Pending() int           { return len(*s.q) }
+func (s fifoSched) Dispatch(_, _ sim.Time) (*storage.Request, sim.Time) {
+	if len(*s.q) == 0 {
+		return nil, 0
+	}
+	r := (*s.q)[0]
+	*s.q = (*s.q)[1:]
+	return r, 0
+}

@@ -1,0 +1,179 @@
+package cowfs
+
+// Block allocation. Free space is kept as address-ordered free extents in
+// a red-black tree; allocation is first-fit from a caller-supplied hint,
+// falling back to a scan from the start of the device. Copy-on-write
+// means every overwrite allocates, so under a random-write workload the
+// free list — and therefore file layout — fragments naturally, which is
+// exactly the behaviour the defragmentation experiments need.
+
+// run is a contiguous allocation.
+type run struct {
+	phys int64
+	len  int64
+}
+
+// insertFree returns [start, start+length) to the free list, merging with
+// adjacent free extents.
+func (fs *FS) insertFree(start, length int64) {
+	if length <= 0 {
+		return
+	}
+	// Merge with the left neighbour if it ends exactly at start.
+	if ls, ll, ok := fs.free.Floor(start); ok {
+		if ls+ll == start {
+			fs.free.Delete(ls)
+			start, length = ls, ll+length
+		}
+	}
+	// Merge with the right neighbour if it begins at our end.
+	if rs, rl, ok := fs.free.Ceiling(start + length); ok {
+		if rs == start+length {
+			fs.free.Delete(rs)
+			length += rl
+		}
+	}
+	fs.free.Set(start, length)
+	// freeBlocks is maintained by the callers (deref and allocate).
+}
+
+// carve removes [at, at+length) from the free extent that contains it,
+// splitting the extent as needed.
+func (fs *FS) carve(at, length int64) {
+	s, l, ok := fs.free.Floor(at)
+	if !ok || at+length > s+l {
+		panic("cowfs: carve outside free extent")
+	}
+	fs.free.Delete(s)
+	if s < at {
+		fs.free.Set(s, at-s)
+	}
+	if at+length < s+l {
+		fs.free.Set(at+length, s+l-(at+length))
+	}
+}
+
+// allocate obtains n blocks, preferring space at or after hint — including
+// the middle of a free extent spanning the hint, so a caller can place
+// data at a chosen device location. When no single free extent can hold n
+// blocks, the allocation splits across multiple runs (producing a
+// fragmented file). Returns ErrNoSpace if fewer than n blocks are free in
+// total.
+func (fs *FS) allocate(n int64, hint int64) ([]run, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > fs.freeBlocks {
+		return nil, ErrNoSpace
+	}
+	var runs []run
+	remaining := n
+	for remaining > 0 {
+		at, avail, ok := fs.findSpace(remaining, hint)
+		length := remaining
+		if !ok {
+			// No extent holds the remainder in one piece: take what is
+			// available nearest the hint and keep going.
+			at, avail, ok = fs.anySpace(hint)
+			if !ok {
+				return nil, ErrNoSpace // unreachable given freeBlocks check
+			}
+			if avail < length {
+				length = avail
+			}
+		}
+		fs.carve(at, length)
+		fs.freeBlocks -= length
+		runs = append(runs, run{phys: at, len: length})
+		for b := at; b < at+length; b++ {
+			fs.refs[b] = 1
+		}
+		remaining -= length
+		hint = at + length
+	}
+	return runs, nil
+}
+
+// findSpace locates space for n blocks at or after hint: first inside the
+// free extent spanning the hint, then the first later extent that fits,
+// wrapping to the device start if needed. Returns the allocation position
+// and the contiguous space available there.
+func (fs *FS) findSpace(n, hint int64) (at, avail int64, ok bool) {
+	if s, l, found := fs.free.Floor(hint); found && s+l > hint && s+l-hint >= n {
+		return hint, s + l - hint, true
+	}
+	found := false
+	fs.free.Ascend(&hint, func(s, l int64) bool {
+		if l >= n {
+			at, avail, found = s, l, true
+			return false
+		}
+		return true
+	})
+	if !found && hint > 0 {
+		fs.free.Ascend(nil, func(s, l int64) bool {
+			if s >= hint {
+				return false
+			}
+			if l >= n {
+				at, avail, found = s, l, true
+				return false
+			}
+			return true
+		})
+	}
+	return at, avail, found
+}
+
+// anySpace returns the free space nearest at/after hint (inside a spanning
+// extent, at a following extent, or wrapping to the lowest extent).
+func (fs *FS) anySpace(hint int64) (at, avail int64, ok bool) {
+	if s, l, found := fs.free.Floor(hint); found && s+l > hint {
+		return hint, s + l - hint, true
+	}
+	if s, l, found := fs.free.Ceiling(hint); found {
+		return s, l, true
+	}
+	if s, l, found := fs.free.Min(); found {
+		return s, l, true
+	}
+	return 0, 0, false
+}
+
+// ref increments a block's reference count (snapshot sharing).
+func (fs *FS) ref(b int64) { fs.refs[b]++ }
+
+// deref decrements a block's reference count, freeing it at zero.
+func (fs *FS) deref(b int64) {
+	fs.refs[b]--
+	if fs.refs[b] > 0 {
+		return
+	}
+	if fs.refs[b] < 0 {
+		panic("cowfs: negative block refcount")
+	}
+	fs.csums[b] = 0
+	fs.rev[b] = revEntry{}
+	delete(fs.corrupt, b)
+	fs.insertFree(b, 1)
+	fs.freeBlocks++
+}
+
+// Allocated reports whether block b is referenced by any file or snapshot.
+func (fs *FS) Allocated(b int64) bool {
+	return b >= 0 && b < int64(len(fs.refs)) && fs.refs[b] > 0
+}
+
+// AllocatedBlocks returns the total number of referenced blocks.
+func (fs *FS) AllocatedBlocks() int64 { return fs.disk.Blocks() - fs.freeBlocks }
+
+// NextAllocated returns the first allocated block >= from, scanning the
+// reference-count table (the scrubber's sequential pass uses this).
+func (fs *FS) NextAllocated(from int64) (int64, bool) {
+	for b := from; b < int64(len(fs.refs)); b++ {
+		if fs.refs[b] > 0 {
+			return b, true
+		}
+	}
+	return 0, false
+}

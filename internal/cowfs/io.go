@@ -1,0 +1,521 @@
+package cowfs
+
+import (
+	"fmt"
+	"sort"
+
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Data path: reads and writes in pages, flowing through the page cache.
+//
+// Writes are copy-on-write: the covered logical range is carved out of the
+// existing extents (dereferencing the old blocks), fresh blocks are
+// allocated, and the cache pages are dirtied; the flusher writes them to
+// the already-assigned blocks later. Reads check the cache first and issue
+// device reads for misses, verifying the per-block checksum — which is why
+// a foreground read lets the opportunistic scrubber skip the block.
+
+func (fs *FS) pageKey(ino Ino, idx int64) pagecache.PageKey {
+	return pagecache.PageKey{FS: fs.id, Ino: uint64(ino), Index: uint64(idx)}
+}
+
+// findExtent returns the extent covering logical page idx, if any.
+func findExtent(exts []Extent, idx int64) (Extent, bool) {
+	lo, hi := 0, len(exts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := exts[mid]
+		switch {
+		case idx < e.Logical:
+			hi = mid
+		case idx >= e.Logical+e.Len:
+			lo = mid + 1
+		default:
+			return e, true
+		}
+	}
+	return Extent{}, false
+}
+
+// Fibmap translates a file page to its device block, like the FIBMAP
+// ioctl (§4.2). ok is false for holes.
+func (fs *FS) Fibmap(ino Ino, idx int64) (int64, bool) {
+	i, exists := fs.inodes[ino]
+	if !exists || i.Dir {
+		return 0, false
+	}
+	e, ok := findExtent(i.Extents, idx)
+	if !ok {
+		return 0, false
+	}
+	return e.Phys + (idx - e.Logical), true
+}
+
+// spliceOut removes logical range [lo, hi) from the inode's extent map,
+// dereferencing the covered blocks and splitting boundary extents.
+func (fs *FS) spliceOut(i *Inode, lo, hi int64) {
+	var out []Extent
+	for _, e := range i.Extents {
+		eEnd := e.Logical + e.Len
+		if eEnd <= lo || e.Logical >= hi {
+			out = append(out, e)
+			continue
+		}
+		// Overlap: keep the left fragment, deref the middle, keep right.
+		cutLo, cutHi := max64(e.Logical, lo), min64(eEnd, hi)
+		if e.Logical < cutLo {
+			out = append(out, Extent{Logical: e.Logical, Phys: e.Phys, Len: cutLo - e.Logical, Gen: e.Gen})
+		}
+		for b := e.Phys + (cutLo - e.Logical); b < e.Phys+(cutHi-e.Logical); b++ {
+			fs.deref(b)
+		}
+		if eEnd > cutHi {
+			out = append(out, Extent{
+				Logical: cutHi,
+				Phys:    e.Phys + (cutHi - e.Logical),
+				Len:     eEnd - cutHi,
+				Gen:     e.Gen,
+			})
+		}
+	}
+	i.Extents = out
+}
+
+// insertExtent adds an extent keeping the slice sorted by Logical and
+// merging with physically adjacent neighbours of the same generation.
+func insertExtent(exts []Extent, e Extent) []Extent {
+	pos := sort.Search(len(exts), func(k int) bool { return exts[k].Logical > e.Logical })
+	exts = append(exts, Extent{})
+	copy(exts[pos+1:], exts[pos:])
+	exts[pos] = e
+	// Merge left.
+	if pos > 0 {
+		l := exts[pos-1]
+		if l.Logical+l.Len == e.Logical && l.Phys+l.Len == e.Phys && l.Gen == e.Gen {
+			exts[pos-1].Len += e.Len
+			exts = append(exts[:pos], exts[pos+1:]...)
+			pos--
+			e = exts[pos]
+		}
+	}
+	// Merge right.
+	if pos+1 < len(exts) {
+		r := exts[pos+1]
+		if e.Logical+e.Len == r.Logical && e.Phys+e.Len == r.Phys && e.Gen == r.Gen {
+			exts[pos].Len += r.Len
+			exts = append(exts[:pos+1], exts[pos+2:]...)
+		}
+	}
+	return exts
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Write stores n pages at page offset off of the file, extending it if
+// needed. New blocks are allocated copy-on-write; the data lands in the
+// cache dirty and reaches the device at writeback (billed to the flusher,
+// or to the inode's writeback tag if one is set).
+func (fs *FS) Write(p *sim.Proc, ino Ino, off, n int64) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	if i.Dir {
+		return fmt.Errorf("%w: inode %d", ErrIsDir, ino)
+	}
+	if n <= 0 {
+		return nil
+	}
+	fs.gen++
+	i.Gen = fs.gen
+
+	// Count blocks being re-allocated away from snapshot sharing.
+	for idx := off; idx < off+n; idx++ {
+		if b, mapped := fs.Fibmap(ino, idx); mapped && fs.refs[b] > 1 {
+			fs.stats.CowReallocation++
+		}
+	}
+
+	// COW: release old coverage, then allocate fresh blocks near the
+	// file's existing data to preserve some locality.
+	fs.spliceOut(i, off, off+n)
+	hint := int64(0)
+	if len(i.Extents) > 0 {
+		last := i.Extents[len(i.Extents)-1]
+		hint = last.Phys + last.Len
+	}
+	runs, err := fs.allocate(n, hint)
+	if err != nil {
+		return err
+	}
+	if off+n > i.SizePg {
+		i.SizePg = off + n
+	}
+	for int64(len(i.PageVers)) < i.SizePg {
+		i.PageVers = append(i.PageVers, 0)
+	}
+
+	logical := off
+	for _, r := range runs {
+		i.Extents = insertExtent(i.Extents, Extent{Logical: logical, Phys: r.phys, Len: r.len, Gen: fs.gen})
+		for k := int64(0); k < r.len; k++ {
+			idx := logical + k
+			fs.nextVer++
+			ver := fs.nextVer
+			i.PageVers[idx] = ver
+			fs.csums[r.phys+k] = Checksum(ver)
+			fs.rev[r.phys+k] = revEntry{ino: ino, idx: idx}
+			key := fs.pageKey(ino, idx)
+			pg, cached := fs.cache.Lookup(key)
+			if !cached {
+				pg = fs.cache.Insert(p, key, ver)
+			}
+			fs.cache.MarkDirty(pg, ver)
+		}
+		logical += r.len
+	}
+	fs.stats.WritesPages += n
+	return nil
+}
+
+// Append adds n pages at the end of the file.
+func (fs *FS) Append(p *sim.Proc, ino Ino, n int64) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	return fs.Write(p, ino, i.SizePg, n)
+}
+
+// Read brings n pages at page offset off into the cache, issuing device
+// reads for misses and verifying checksums. Reads of holes yield zero
+// pages without I/O.
+func (fs *FS) Read(p *sim.Proc, ino Ino, off, n int64, class storage.Class, owner string) error {
+	_, err := fs.ReadCount(p, ino, off, n, class, owner)
+	return err
+}
+
+// ReadCount is Read, additionally returning how many pages required
+// device I/O (cache misses). Callers must use this rather than diffing
+// the global MissPages counter: other processes run while the read blocks
+// on the device.
+func (fs *FS) ReadCount(p *sim.Proc, ino Ino, off, n int64, class storage.Class, owner string) (int64, error) {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return 0, fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	if i.Dir {
+		return 0, fmt.Errorf("%w: inode %d", ErrIsDir, ino)
+	}
+	if off+n > i.SizePg {
+		n = i.SizePg - off
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	fs.stats.ReadsPages += n
+
+	// Collect misses as (idx, block) pairs — remembering the checksum the
+	// block is expected to verify against — then coalesce into physically
+	// contiguous device reads.
+	type miss struct {
+		idx, block int64
+		wantCsum   uint64
+	}
+	var misses []miss
+	for idx := off; idx < off+n; idx++ {
+		if fs.cache.Contains(fs.pageKey(ino, idx)) {
+			fs.cache.Lookup(fs.pageKey(ino, idx)) // LRU touch + hit accounting
+			continue
+		}
+		b, mapped := fs.Fibmap(ino, idx)
+		if !mapped {
+			fs.cache.Insert(p, fs.pageKey(ino, idx), 0) // hole: zero page
+			continue
+		}
+		misses = append(misses, miss{idx: idx, block: b, wantCsum: fs.csums[b]})
+	}
+	missed := int64(len(misses))
+	fs.stats.MissPages += missed
+
+	for s := 0; s < len(misses); {
+		e := s + 1
+		for e < len(misses) && misses[e].block == misses[e-1].block+1 && misses[e].idx == misses[e-1].idx+1 {
+			e++
+		}
+		first := misses[s]
+		count := e - s
+		if err := fs.disk.Read(p, first.block, count, class, owner); err != nil {
+			return missed, fmt.Errorf("cowfs read inode %d: %w", ino, err)
+		}
+		// Revalidate after the I/O: the file may have been deleted or
+		// copy-on-written while this process was blocked on the device.
+		if _, alive := fs.inodes[ino]; !alive {
+			return missed, fmt.Errorf("%w: inode %d (deleted during read)", ErrNotFound, ino)
+		}
+		for k := 0; k < count; k++ {
+			m := misses[s+k]
+			if cur, mapped := fs.Fibmap(ino, m.idx); !mapped || cur != m.block {
+				continue // remapped mid-read: the new data is (or will be) in cache
+			}
+			if fs.cache.Contains(fs.pageKey(ino, m.idx)) {
+				continue // a concurrent write cached a newer copy
+			}
+			if fs.csums[m.block] != m.wantCsum {
+				continue // block re-written (possibly in place) mid-read
+			}
+			ver := fs.diskVer[m.block]
+			if Checksum(ver) != m.wantCsum {
+				fs.stats.Corruptions++
+				return missed, fmt.Errorf("%w: inode %d page %d block %d", ErrCorruption, ino, m.idx, m.block)
+			}
+			fs.cache.Insert(p, fs.pageKey(ino, m.idx), ver)
+		}
+		s = e
+	}
+	return missed, nil
+}
+
+// ReadFile brings the whole file into the cache.
+func (fs *FS) ReadFile(p *sim.Proc, ino Ino, class storage.Class, owner string) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	return fs.Read(p, ino, 0, i.SizePg, class, owner)
+}
+
+// SetWritebackTag routes future writeback of the inode's dirty pages to
+// the given class/owner (so defragmentation writes are billed to the
+// defragmenter rather than the flusher).
+func (fs *FS) SetWritebackTag(ino Ino, class storage.Class, owner string) {
+	fs.wbTags[ino] = wbTag{class: class, owner: owner}
+}
+
+// WritebackPages implements pagecache.Backend: it writes the given dirty
+// pages of one file to their (already assigned) blocks.
+func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
+	ino := Ino(inoN)
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return nil // file deleted while dirty; nothing to write
+	}
+	class, owner := storage.ClassNormal, "writeback"
+	if tag, tagged := fs.wbTags[ino]; tagged {
+		class, owner = tag.class, tag.owner
+	}
+	// Capture (block, version) pairs now; apply to the medium after the
+	// I/O completes, skipping pages remapped mid-flight.
+	type wb struct {
+		idx   int64
+		block int64
+		ver   uint64
+	}
+	var pages []wb
+	for _, idxU := range indices {
+		idx := int64(idxU)
+		b, mapped := fs.Fibmap(ino, idx)
+		if !mapped || idx >= int64(len(i.PageVers)) {
+			continue
+		}
+		pages = append(pages, wb{idx: idx, block: b, ver: i.PageVers[idx]})
+	}
+	sort.Slice(pages, func(a, b int) bool { return pages[a].block < pages[b].block })
+	for s := 0; s < len(pages); {
+		e := s + 1
+		for e < len(pages) && pages[e].block == pages[e-1].block+1 {
+			e++
+		}
+		if err := fs.disk.Write(p, pages[s].block, e-s, class, owner); err != nil {
+			return err
+		}
+		s = e
+	}
+	for _, w := range pages {
+		if b, mapped := fs.Fibmap(ino, w.idx); mapped && b == w.block {
+			fs.diskVer[w.block] = w.ver
+		}
+	}
+	fs.stats.WritebackPages += int64(len(pages))
+	// Drop the tag once the file has no dirty pages left.
+	if _, tagged := fs.wbTags[ino]; tagged {
+		dirty := false
+		fs.cache.IterateFile(fs.id, inoN, func(pg *pagecache.Page) bool {
+			if pg.Dirty {
+				dirty = true
+				return false
+			}
+			return true
+		})
+		if !dirty {
+			delete(fs.wbTags, ino)
+		}
+	}
+	return nil
+}
+
+// Sync writes back all dirty pages of the filesystem's files.
+func (fs *FS) Sync(p *sim.Proc) { fs.cache.Sync(p) }
+
+// --- scrubbing support ---------------------------------------------------
+
+// CorruptBlock silently corrupts the on-medium content of a block, as a
+// latent error would (failure injection for the scrubber).
+func (fs *FS) CorruptBlock(b int64) {
+	fs.corrupt[b] = true
+	fs.diskVer[b] ^= 0xdeadbeef
+}
+
+// VerifyBlock reads a block from the device (unless its page is dirty in
+// cache, i.e. not yet committed) and checks its checksum. It returns
+// (readPerformed, error). The scrubber calls this for every allocated
+// block; ErrCorruption indicates detected silent corruption.
+//
+// Verified blocks are inserted into the page cache (when the block still
+// backs a live file page): the scrubber has the data in memory, and
+// making it visible in the cache is what lets concurrently running tasks
+// — backup in particular — share the scrubber's single pass over the
+// device (§6.3).
+func (fs *FS) VerifyBlock(p *sim.Proc, b int64, class storage.Class, owner string) (bool, error) {
+	if !fs.Allocated(b) {
+		return false, nil
+	}
+	if fs.blockDirtyInCache(b) {
+		// Content is newer in memory; the medium copy is stale and will be
+		// rewritten at flush, so there is nothing to verify yet.
+		return false, nil
+	}
+	if err := fs.disk.Read(p, b, 1, class, owner); err != nil {
+		return true, err
+	}
+	if err := fs.CheckBlock(b); err != nil {
+		return true, err
+	}
+	fs.populateFromBlock(p, b)
+	return true, nil
+}
+
+// VerifyRange reads and verifies count consecutive blocks with one device
+// request, returning the first error. Unallocated or dirty blocks inside
+// the range are skipped for verification but still read (the scrubber
+// reads sequentially in large chunks). Verified blocks populate the page
+// cache, as in VerifyBlock.
+func (fs *FS) VerifyRange(p *sim.Proc, b int64, count int, class storage.Class, owner string) error {
+	if err := fs.disk.Read(p, b, count, class, owner); err != nil {
+		return err
+	}
+	for k := int64(0); k < int64(count); k++ {
+		blk := b + k
+		if !fs.Allocated(blk) || fs.blockDirtyInCache(blk) {
+			continue
+		}
+		if err := fs.CheckBlock(blk); err != nil {
+			return err
+		}
+		fs.populateFromBlock(p, blk)
+	}
+	return nil
+}
+
+// populateFromBlock inserts a just-read block's page into the cache when
+// the block currently backs a file page.
+func (fs *FS) populateFromBlock(p *sim.Proc, b int64) {
+	o := fs.rev[b]
+	if o.ino == 0 {
+		return
+	}
+	if cur, mapped := fs.Fibmap(o.ino, o.idx); !mapped || cur != b {
+		return
+	}
+	fs.cache.Insert(p, fs.pageKey(o.ino, o.idx), fs.diskVer[b])
+}
+
+// CheckBlock compares the medium content of an allocated block against its
+// stored checksum without performing I/O (the device read must already
+// have happened).
+func (fs *FS) CheckBlock(b int64) error {
+	if !fs.Allocated(b) {
+		return nil
+	}
+	if fs.blockDirtyInCache(b) {
+		return nil
+	}
+	if Checksum(fs.diskVer[b]) != fs.csums[b] {
+		fs.stats.ScrubErrors++
+		return fmt.Errorf("%w: block %d", ErrCorruption, b)
+	}
+	return nil
+}
+
+// RepairBlock rewrites a corrupted block from its checksummed version
+// (in a real system: from a redundant copy). It also clears any injected
+// device-level bad-block state, modelling sector reallocation.
+func (fs *FS) RepairBlock(p *sim.Proc, b int64, class storage.Class, owner string) error {
+	if !fs.Allocated(b) {
+		return nil
+	}
+	fs.disk.RepairBlock(b)
+	delete(fs.corrupt, b)
+	// Restore the version whose checksum is stored. We recover it from
+	// the owning file's extent map.
+	ino, idx, ok := fs.blockOwner(b)
+	if !ok {
+		return fmt.Errorf("cowfs: cannot repair unowned block %d", b)
+	}
+	i := fs.inodes[ino]
+	fs.diskVer[b] = i.PageVers[idx]
+	return fs.disk.Write(p, b, 1, class, owner)
+}
+
+// blockOwner finds a file referencing block b (linear in file count; used
+// only on the rare repair path).
+func (fs *FS) blockOwner(b int64) (Ino, int64, bool) {
+	inos := make([]Ino, 0, len(fs.inodes))
+	for ino := range fs.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(x, y int) bool { return inos[x] < inos[y] })
+	for _, ino := range inos {
+		i := fs.inodes[ino]
+		if i.Dir {
+			continue
+		}
+		for _, e := range i.Extents {
+			if b >= e.Phys && b < e.Phys+e.Len {
+				return ino, e.Logical + (b - e.Phys), true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// blockDirtyInCache reports whether the page currently mapped to block b
+// is dirty in the cache. Stale reverse-map entries (COW moved the page to
+// a new block, leaving b to a snapshot) report false: the medium copy of
+// such a block is stable.
+func (fs *FS) blockDirtyInCache(b int64) bool {
+	o := fs.rev[b]
+	if o.ino == 0 {
+		return false
+	}
+	if cur, mapped := fs.Fibmap(o.ino, o.idx); !mapped || cur != b {
+		return false
+	}
+	pg, cached := fs.cache.Peek(fs.pageKey(o.ino, o.idx))
+	return cached && pg.Dirty
+}

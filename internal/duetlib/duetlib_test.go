@@ -1,0 +1,181 @@
+package duetlib
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"duet/internal/core"
+)
+
+func TestPrioQueueBasics(t *testing.T) {
+	q := NewPrioQueue()
+	if _, _, ok := q.DequeueMax(); ok {
+		t.Error("dequeue on empty succeeded")
+	}
+	q.Update(1, 10)
+	q.Update(2, 30)
+	q.Update(3, 20)
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if id, prio, ok := q.PeekMax(); !ok || id != 2 || prio != 30 {
+		t.Errorf("PeekMax = %d,%f,%v", id, prio, ok)
+	}
+	var order []uint64
+	for {
+		id, _, ok := q.DequeueMax()
+		if !ok {
+			break
+		}
+		order = append(order, id)
+	}
+	want := []uint64{2, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPrioQueueUpdateMoves(t *testing.T) {
+	q := NewPrioQueue()
+	q.Update(1, 10)
+	q.Update(2, 20)
+	q.Update(1, 30) // promote
+	if id, _, _ := q.PeekMax(); id != 1 {
+		t.Errorf("PeekMax = %d after promote", id)
+	}
+	if p, ok := q.Priority(1); !ok || p != 30 {
+		t.Errorf("Priority = %f,%v", p, ok)
+	}
+	q.Update(1, 30) // no-op update
+	if q.Len() != 2 {
+		t.Errorf("Len = %d after no-op", q.Len())
+	}
+	if !q.Remove(1) {
+		t.Error("Remove failed")
+	}
+	if q.Remove(1) {
+		t.Error("double Remove succeeded")
+	}
+	if id, _, _ := q.PeekMax(); id != 2 {
+		t.Errorf("PeekMax = %d after remove", id)
+	}
+}
+
+func TestPrioQueueTiesAscendingID(t *testing.T) {
+	q := NewPrioQueue()
+	for _, id := range []uint64{5, 3, 9} {
+		q.Update(id, 1.0)
+	}
+	var order []uint64
+	for {
+		id, _, ok := q.DequeueMax()
+		if !ok {
+			break
+		}
+		order = append(order, id)
+	}
+	want := []uint64{3, 5, 9}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+// TestQuickPrioQueueAgainstSort property: dequeuing everything yields
+// items sorted by (priority desc, id asc), with the last Update winning.
+func TestQuickPrioQueueAgainstSort(t *testing.T) {
+	type op struct {
+		ID   uint8
+		Prio uint8
+	}
+	f := func(ops []op) bool {
+		q := NewPrioQueue()
+		model := map[uint64]float64{}
+		for _, o := range ops {
+			q.Update(uint64(o.ID), float64(o.Prio))
+			model[uint64(o.ID)] = float64(o.Prio)
+		}
+		type kv struct {
+			id   uint64
+			prio float64
+		}
+		var want []kv
+		for id, p := range model {
+			want = append(want, kv{id, p})
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].prio != want[b].prio {
+				return want[a].prio > want[b].prio
+			}
+			return want[a].id < want[b].id
+		})
+		for _, w := range want {
+			id, prio, ok := q.DequeueMax()
+			if !ok || id != w.id || prio != w.prio {
+				return false
+			}
+		}
+		_, _, ok := q.DequeueMax()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileTrackerApply(t *testing.T) {
+	tr := NewFileTracker()
+	changed := tr.Apply([]core.Item{
+		{ID: 7, PageIdx: 0, Flags: core.StExists},
+		{ID: 7, PageIdx: 1, Flags: core.StExists | core.StModified},
+		{ID: 9, PageIdx: 0, Flags: core.StExists},
+	})
+	if len(changed) != 2 || changed[0] != 7 || changed[1] != 9 {
+		t.Errorf("changed = %v", changed)
+	}
+	if tr.CachedPages(7) != 2 || tr.DirtyPages(7) != 1 {
+		t.Errorf("file 7: cached=%d dirty=%d", tr.CachedPages(7), tr.DirtyPages(7))
+	}
+	// Page eviction clears residency.
+	tr.Apply([]core.Item{{ID: 7, PageIdx: 1, Flags: 0}})
+	if tr.CachedPages(7) != 1 || tr.DirtyPages(7) != 0 {
+		t.Errorf("after evict: cached=%d dirty=%d", tr.CachedPages(7), tr.DirtyPages(7))
+	}
+	tr.Forget(7)
+	if tr.CachedPages(7) != 0 {
+		t.Error("Forget did not clear")
+	}
+	files := tr.Files()
+	if len(files) != 1 || files[0] != 9 {
+		t.Errorf("Files = %v", files)
+	}
+}
+
+func TestFileTrackerIdempotent(t *testing.T) {
+	tr := NewFileTracker()
+	it := core.Item{ID: 1, PageIdx: 5, Flags: core.StExists}
+	tr.Apply([]core.Item{it})
+	tr.Apply([]core.Item{it})
+	if tr.CachedPages(1) != 1 {
+		t.Errorf("CachedPages = %d after duplicate events", tr.CachedPages(1))
+	}
+}
+
+func TestSortUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]uint64, 50)
+	for i := range v {
+		v[i] = uint64(rng.Intn(100))
+	}
+	sortUint64(v)
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"io"
+
+	"duet/internal/machine"
+	"duet/internal/metrics"
+	"duet/internal/workload"
+)
+
+// Multi-task experiments (§6.3): when maintenance tasks run concurrently,
+// Duet lets them share one pass over the common data, so savings appear
+// even with no foreground workload at all.
+
+// multiSweep runs a task set across utilizations, once with Duet and once
+// baseline, collecting a metric from each outcome.
+func multiSweep(s Scale, taskSet []TaskName, overlap float64,
+	metric func(*Outcome) float64) (duet, base metrics.Series, err error) {
+	duet.Name = "duet"
+	base.Name = "baseline"
+	for _, util := range s.Utils() {
+		for _, isDuet := range []bool{true, false} {
+			var vals []float64
+			for _, seed := range seeds(s) {
+				out, rerr := runTasks(RunSpec{
+					Env: EnvSpec{
+						Scale: s, Seed: seed, Personality: workload.Webserver,
+						Coverage: overlap, TargetUtil: util, Device: machine.HDD,
+					},
+					Tasks: taskSet,
+					Duet:  isDuet,
+				})
+				if rerr != nil {
+					return duet, base, rerr
+				}
+				vals = append(vals, metric(out))
+			}
+			mean, ci := metrics.CI95(vals)
+			pt := metrics.Point{X: util, Y: mean, CI: ci}
+			if isDuet {
+				duet.Points = append(duet.Points, pt)
+			} else {
+				base.Points = append(base.Points, pt)
+			}
+		}
+	}
+	return duet, base, nil
+}
+
+// ioSavedMulti renders an I/O-saved figure for concurrent tasks at
+// several overlaps (Duet only: the baseline saves nothing by
+// definition of the metric).
+func ioSavedMulti(s Scale, w io.Writer, title string, taskSet []TaskName) error {
+	fig := &metrics.Figure{
+		Title:  title,
+		XLabel: "util",
+		YLabel: "fraction of combined maintenance I/O saved",
+	}
+	for _, ov := range []float64{0.25, 0.50, 0.75, 1.00} {
+		series := metrics.Series{Name: "overlap=" + metrics.Pct(ov)}
+		for _, util := range s.Utils() {
+			var vals []float64
+			for _, seed := range seeds(s) {
+				out, err := runTasks(RunSpec{
+					Env: EnvSpec{
+						Scale: s, Seed: seed, Personality: workload.Webserver,
+						Coverage: ov, TargetUtil: util,
+					},
+					Tasks: taskSet,
+					Duet:  true,
+				})
+				if err != nil {
+					return err
+				}
+				vals = append(vals, out.IOSaved())
+			}
+			mean, ci := metrics.CI95(vals)
+			series.Points = append(series.Points, metrics.Point{X: util, Y: mean, CI: ci})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fig.Render(w)
+	return nil
+}
+
+func runFig5(s Scale, w io.Writer) error {
+	return ioSavedMulti(s, w,
+		"Figure 5: I/O saved, scrubbing + backup running together (webserver workload)",
+		[]TaskName{TaskScrub, TaskBackup})
+}
+
+func runFig6(s Scale, w io.Writer) error {
+	duet, base, err := multiSweep(s, []TaskName{TaskScrub, TaskBackup}, 1.0,
+		(*Outcome).WorkCompleted)
+	if err != nil {
+		return err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 6: maintenance work completed, scrubbing + backup (webserver workload)",
+		XLabel: "util",
+		YLabel: "fraction of maintenance work completed in the window",
+		Series: []metrics.Series{duet, base},
+	}
+	fig.Render(w)
+	return nil
+}
+
+func runFig7(s Scale, w io.Writer) error {
+	return ioSavedMulti(s, w,
+		"Figure 7: I/O saved, scrubbing + backup + defragmentation (webserver workload)",
+		[]TaskName{TaskScrub, TaskBackup, TaskDefrag})
+}
+
+func runFig8(s Scale, w io.Writer) error {
+	duet, base, err := multiSweep(s, []TaskName{TaskScrub, TaskBackup, TaskDefrag}, 1.0,
+		(*Outcome).WorkCompleted)
+	if err != nil {
+		return err
+	}
+	fig := &metrics.Figure{
+		Title:  "Figure 8: maintenance work completed, scrub + backup + defrag (webserver workload)",
+		XLabel: "util",
+		YLabel: "fraction of maintenance work completed in the window",
+		Series: []metrics.Series{duet, base},
+	}
+	fig.Render(w)
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "fig5", Title: "I/O saved: scrub + backup together", Run: runFig5})
+	register(Experiment{ID: "fig6", Title: "Work completed: scrub + backup", Run: runFig6})
+	register(Experiment{ID: "fig7", Title: "I/O saved: scrub + backup + defrag", Run: runFig7})
+	register(Experiment{ID: "fig8", Title: "Work completed: three tasks", Run: runFig8})
+}

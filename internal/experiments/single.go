@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"duet/internal/machine"
+	"duet/internal/metrics"
+	"duet/internal/sim"
+	"duet/internal/tasks/rsync"
+	"duet/internal/trace"
+	"duet/internal/workload"
+)
+
+// --- Figure 1: file access distributions -----------------------------------
+
+func runFig1(s Scale, w io.Writer) error {
+	fig := &metrics.Figure{
+		Title:  "Figure 1: file access distributions (CDF of accesses over file ranks)",
+		XLabel: "frac-files",
+		YLabel: "fraction of accesses to the top frac-files most popular files",
+	}
+	n := int(s.DataPages / 32) // population size at this scale
+	dists := append([]trace.Distribution{}, trace.MSDevices()...)
+	dists = append(dists, trace.Uniform{})
+	for _, d := range dists {
+		series := metrics.Series{Name: d.Name()}
+		for f := 0.05; f <= 1.0+1e-9; f += 0.05 {
+			series.Points = append(series.Points, metrics.Point{
+				X: round2(f), Y: d.AccessShare(n, f),
+			})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fig.Render(w)
+	return nil
+}
+
+// --- I/O-saved sweeps (Figures 2, 3, 10) ------------------------------------
+
+// ioSavedSweep runs the task set with Duet across utilizations for each
+// overlap value and returns one series per overlap.
+func ioSavedSweep(s Scale, w io.Writer, title string, taskSet []TaskName,
+	personality workload.Personality, dist string, overlaps []float64,
+	device machine.DeviceKind) error {
+	fig := &metrics.Figure{
+		Title:  title,
+		XLabel: "util",
+		YLabel: "fraction of maintenance I/O saved",
+	}
+	for _, ov := range overlaps {
+		series := metrics.Series{Name: fmt.Sprintf("overlap=%s", metrics.Pct(ov))}
+		for _, util := range s.Utils() {
+			var vals []float64
+			for _, seed := range seeds(s) {
+				out, err := runTasks(RunSpec{
+					Env: EnvSpec{
+						Scale: s, Seed: seed, Personality: personality,
+						Dist: dist, Coverage: ov, TargetUtil: util,
+						Device: device,
+					},
+					Tasks: taskSet,
+					Duet:  true,
+				})
+				if err != nil {
+					return err
+				}
+				vals = append(vals, out.IOSaved())
+			}
+			mean, ci := metrics.CI95(vals)
+			series.Points = append(series.Points, metrics.Point{X: util, Y: mean, CI: ci})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fig.Render(w)
+	return nil
+}
+
+func runFig2(s Scale, w io.Writer) error {
+	return ioSavedSweep(s, w,
+		"Figure 2: I/O saved, scrubbing + webserver workload",
+		[]TaskName{TaskScrub}, workload.Webserver, "uniform",
+		[]float64{0.25, 0.50, 0.75, 1.00}, machine.HDD)
+}
+
+func runFig3(s Scale, w io.Writer) error {
+	return ioSavedSweep(s, w,
+		"Figure 3: I/O saved, backup + webserver workload",
+		[]TaskName{TaskBackup}, workload.Webserver, "uniform",
+		[]float64{0.25, 0.50, 0.75, 1.00}, machine.HDD)
+}
+
+func runFig10(s Scale, w io.Writer) error {
+	return ioSavedSweep(s, w,
+		"Figure 10: I/O saved on a solid-state drive (scrubbing + webserver)",
+		[]TaskName{TaskScrub}, workload.Webserver, "uniform",
+		[]float64{0.25, 0.50, 0.75, 1.00}, machine.SSD)
+}
+
+// --- Figure 4: rsync speedup -------------------------------------------------
+
+func runFig4(s Scale, w io.Writer) error {
+	fig := &metrics.Figure{
+		Title:  "Figure 4: rsync runtime speedup vs data overlap (unthrottled webserver)",
+		XLabel: "overlap",
+		YLabel: "baseline runtime / Duet runtime",
+	}
+	series := metrics.Series{Name: "speedup"}
+	saved := metrics.Series{Name: "io-saved"}
+	for _, ov := range []float64{0.25, 0.50, 0.75, 1.00} {
+		var speedups, savs []float64
+		for _, seed := range seeds(s) {
+			base, _, err := runRsync(s, seed, ov, false)
+			if err != nil {
+				return err
+			}
+			duet, sv, err := runRsync(s, seed, ov, true)
+			if err != nil {
+				return err
+			}
+			if duet > 0 {
+				speedups = append(speedups, float64(base)/float64(duet))
+			}
+			savs = append(savs, sv)
+		}
+		mean, ci := metrics.CI95(speedups)
+		series.Points = append(series.Points, metrics.Point{X: ov, Y: mean, CI: ci})
+		ms, cs := metrics.CI95(savs)
+		saved.Points = append(saved.Points, metrics.Point{X: ov, Y: ms, CI: cs})
+	}
+	fig.Series = []metrics.Series{series, saved}
+	fig.Render(w)
+	return nil
+}
+
+// runRsync copies the populated tree to a second device while an
+// unthrottled webserver workload runs on the source, returning the
+// transfer duration and the fraction of read I/O saved.
+func runRsync(s Scale, seed int64, overlap float64, duet bool) (sim.Time, float64, error) {
+	spec := EnvSpec{
+		Scale: s, Seed: seed, Personality: workload.Webserver,
+		Coverage: overlap, TargetUtil: 1, // unthrottled (§6.2 rsync setup)
+	}
+	e, err := build(spec, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Rsync copies to a second disk, as the paper does (local rsync
+	// between two devices).
+	dst, _, err := e.m.AddCowFS("sdb", s.DeviceBlocks, machine.HDD)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := dst.MkdirAll("/backup"); err != nil {
+		return 0, 0, err
+	}
+	root, err := e.m.FS.Lookup("/data")
+	if err != nil {
+		return 0, 0, err
+	}
+	var r *rsync.Rsync
+	if duet {
+		r = rsync.NewOpportunistic(e.m.FS, root.Ino, dst, "/backup", rsync.DefaultConfig(), e.m.Duet, e.m.Adapter)
+	} else {
+		r = rsync.New(e.m.FS, root.Ino, dst, "/backup", rsync.DefaultConfig())
+	}
+	var runErr error
+	e.gen.Start(e.m.Eng)
+	e.m.Eng.Go("task:rsync", func(p *sim.Proc) {
+		runErr = r.Run(p)
+		e.m.Eng.Stop()
+	})
+	// Generous cap: rsync at normal priority against an unthrottled
+	// workload needs a multiple of the window.
+	if err := e.m.Eng.RunFor(20 * s.Window); err != nil {
+		return 0, 0, err
+	}
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	savedFrac := 0.0
+	if r.Report.WorkTotal > 0 {
+		savedFrac = float64(r.Report.Saved) / float64(r.Report.WorkTotal)
+	}
+	return r.Report.Duration(), savedFrac, nil
+}
+
+// --- Table 5: maximum utilization ---------------------------------------------
+
+// tab5Row is one line of Table 5.
+type tab5Row struct {
+	personality workload.Personality
+	overlap     float64
+	dist        string
+}
+
+func tab5Rows() []tab5Row {
+	return []tab5Row{
+		{workload.Webserver, 0.25, "uniform"},
+		{workload.Webserver, 0.50, "uniform"},
+		{workload.Webserver, 0.75, "uniform"},
+		{workload.Webserver, 1.00, "uniform"},
+		{workload.Webserver, 1.00, "ms-dev0"},
+		{workload.Webproxy, 1.00, "uniform"},
+		{workload.Webproxy, 1.00, "ms-dev0"},
+		{workload.Fileserver, 1.00, "uniform"},
+		{workload.Fileserver, 1.00, "ms-dev0"},
+	}
+}
+
+// maxUtilization finds the highest utilization (in UtilStep steps) at
+// which the task still completes within the window, scanning from high to
+// low (Table 5's metric). Returns -1 when it fails even on an idle
+// device.
+func maxUtilization(s Scale, row tab5Row, task TaskName, duet bool) (float64, error) {
+	utils := s.Utils()
+	for i := len(utils) - 1; i >= 0; i-- {
+		util := utils[i]
+		completedAll := true
+		for _, seed := range seeds(s) {
+			out, err := runTasks(RunSpec{
+				Env: EnvSpec{
+					Scale: s, Seed: seed, Personality: row.personality,
+					Dist: row.dist, Coverage: row.overlap, TargetUtil: util,
+				},
+				Tasks: []TaskName{task},
+				Duet:  duet,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if !out.Completed() {
+				completedAll = false
+				break
+			}
+		}
+		if completedAll {
+			return util, nil
+		}
+	}
+	return -1, nil
+}
+
+func runTab5(s Scale, w io.Writer) error {
+	headers := []string{"Workload", "Overlap", "Distribution",
+		"Scrub base", "Scrub Duet", "Backup base", "Backup Duet", "Defrag base", "Defrag Duet"}
+	var rows [][]string
+	for _, row := range tab5Rows() {
+		cells := []string{string(row.personality), metrics.Pct(row.overlap), row.dist}
+		for _, task := range []TaskName{TaskScrub, TaskBackup, TaskDefrag} {
+			for _, duet := range []bool{false, true} {
+				mu, err := maxUtilization(s, row, task, duet)
+				if err != nil {
+					return err
+				}
+				if mu < 0 {
+					cells = append(cells, "never")
+				} else {
+					cells = append(cells, metrics.Pct(mu))
+				}
+			}
+		}
+		rows = append(rows, cells)
+	}
+	fmt.Fprintln(w, "# Table 5: maximum utilization at which each task completes in the window")
+	metrics.RenderTable(w, headers, rows)
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "fig1", Title: "File access distributions", Run: runFig1})
+	register(Experiment{ID: "fig2", Title: "I/O saved: scrubbing + webserver", Run: runFig2})
+	register(Experiment{ID: "fig3", Title: "I/O saved: backup + webserver", Run: runFig3})
+	register(Experiment{ID: "fig4", Title: "Rsync speedup vs overlap", Run: runFig4})
+	register(Experiment{ID: "tab5", Title: "Maximum utilization (scrub/backup/defrag)", Run: runTab5})
+	register(Experiment{ID: "fig10", Title: "I/O saved on SSD", Run: runFig10})
+}

@@ -1,0 +1,240 @@
+// Package iosched implements the I/O schedulers used in the paper's
+// evaluation: a CFQ-like scheduler with an Idle priority class (the
+// default configuration, §6.1.3), a Deadline-like scheduler without
+// prioritization (the §6.5 ablation), and a trivial FIFO.
+package iosched
+
+import (
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// DefaultIdleGrace is how long the device must have been free of
+// normal-class activity before idle-class I/O is dispatched. CFQ's idle
+// class behaves similarly: idle I/O runs only once the disk has been idle
+// for a while.
+const DefaultIdleGrace = 2 * sim.Millisecond
+
+// DefaultIdleSliceTime is how long one owner may keep dispatching
+// idle-class requests before the slice rotates to another idle owner.
+// Real CFQ gives each process a time slice; without slicing, concurrent
+// maintenance streams would interleave request-by-request and thrash the
+// head, and a budget in requests or blocks would hand seek-heavy streams
+// a disproportionate share of device time.
+const DefaultIdleSliceTime = 200 * sim.Millisecond
+
+// CFQ dispatches normal-class requests FIFO and idle-class requests only
+// when no normal request is pending and the device has seen no
+// normal-class completion for the grace period. Once idle I/O gets a
+// turn, requests from one owner run as a slice before rotating to the
+// next idle owner.
+type CFQ struct {
+	IdleGrace     sim.Time
+	IdleSliceTime sim.Time
+
+	normal     []*storage.Request
+	idleOwners []string // round-robin order of owners with queues
+	idleQ      map[string][]*storage.Request
+	idleLen    int
+	curOwner   string
+	sliceStart sim.Time
+	// anticipateUntil implements CFQ's slice_idle for the idle class:
+	// synchronous tasks have at most one request outstanding, so when the
+	// slice owner's queue empties the scheduler waits briefly for its
+	// next request instead of rotating (and seeking) on every request.
+	anticipateUntil sim.Time
+}
+
+// NewCFQ returns a CFQ scheduler with the default parameters.
+func NewCFQ() *CFQ {
+	return &CFQ{
+		IdleGrace:     DefaultIdleGrace,
+		IdleSliceTime: DefaultIdleSliceTime,
+		idleQ:         map[string][]*storage.Request{},
+		sliceStart:    -1,
+	}
+}
+
+// Name implements storage.Scheduler.
+func (s *CFQ) Name() string { return "cfq" }
+
+// Add implements storage.Scheduler.
+func (s *CFQ) Add(r *storage.Request) {
+	if r.Class != storage.ClassIdle {
+		s.normal = append(s.normal, r)
+		return
+	}
+	if _, ok := s.idleQ[r.Owner]; !ok {
+		s.idleOwners = append(s.idleOwners, r.Owner)
+	}
+	s.idleQ[r.Owner] = append(s.idleQ[r.Owner], r)
+	s.idleLen++
+}
+
+// popIdle dispatches from the current owner's time slice. When the
+// owner's queue is momentarily empty but the slice has time left, it
+// anticipates (returns nil with a wait hint) instead of rotating; the
+// slice rotates when it expires or anticipation times out.
+func (s *CFQ) popIdle(now sim.Time) (*storage.Request, sim.Time) {
+	expired := s.sliceStart < 0 || now-s.sliceStart >= s.IdleSliceTime
+	if q := s.idleQ[s.curOwner]; len(q) > 0 && !expired {
+		s.anticipateUntil = 0
+		s.idleQ[s.curOwner] = q[1:]
+		s.idleLen--
+		return q[0], 0
+	}
+	if !expired && s.curOwner != "" {
+		// Anticipate the owner's next synchronous request for up to the
+		// grace period (CFQ's slice_idle).
+		if s.anticipateUntil == 0 {
+			s.anticipateUntil = now + s.IdleGrace
+		}
+		if now < s.anticipateUntil {
+			return nil, s.anticipateUntil - now
+		}
+	}
+	// Rotate to the next owner with pending requests.
+	s.anticipateUntil = 0
+	for i, o := range s.idleOwners {
+		if len(s.idleQ[o]) > 0 && (o != s.curOwner || len(s.idleOwners) == 1) {
+			s.idleOwners = append(s.idleOwners[i+1:], s.idleOwners[:i+1]...)
+			s.curOwner = o
+			s.sliceStart = now
+			break
+		}
+	}
+	q := s.idleQ[s.curOwner]
+	if len(q) == 0 {
+		// Only the current owner has requests (or rotation found none).
+		for _, o := range s.idleOwners {
+			if len(s.idleQ[o]) > 0 {
+				s.curOwner, s.sliceStart = o, now
+				q = s.idleQ[o]
+				break
+			}
+		}
+	}
+	if len(q) == 0 {
+		return nil, 0
+	}
+	r := q[0]
+	s.idleQ[s.curOwner] = q[1:]
+	s.idleLen--
+	return r, 0
+}
+
+// Dispatch implements storage.Scheduler.
+func (s *CFQ) Dispatch(now, lastNormal sim.Time) (*storage.Request, sim.Time) {
+	if len(s.normal) > 0 {
+		r := s.normal[0]
+		s.normal = s.normal[1:]
+		return r, 0
+	}
+	if s.idleLen > 0 {
+		eligible := lastNormal + s.IdleGrace
+		if now >= eligible {
+			return s.popIdle(now)
+		}
+		return nil, eligible - now
+	}
+	return nil, 0
+}
+
+// Pending implements storage.Scheduler.
+func (s *CFQ) Pending() int { return len(s.normal) + s.idleLen }
+
+// Deadline ignores priority classes entirely (the property §6.5 exercises:
+// "the Linux Deadline I/O scheduler ... does not allow prioritizing
+// different streams of I/O"). Reads are preferred over writes, as in the
+// real deadline scheduler, but maintenance and workload I/O compete as
+// equals.
+type Deadline struct {
+	reads  []*storage.Request
+	writes []*storage.Request
+	// starve bounds how many reads may pass a queued write, mirroring
+	// deadline's writes_starved tunable.
+	starve int
+	passed int
+}
+
+// NewDeadline returns a Deadline scheduler with the kernel's default
+// writes_starved of 2.
+func NewDeadline() *Deadline { return &Deadline{starve: 2} }
+
+// Name implements storage.Scheduler.
+func (s *Deadline) Name() string { return "deadline" }
+
+// Add implements storage.Scheduler.
+func (s *Deadline) Add(r *storage.Request) {
+	if r.Write {
+		s.writes = append(s.writes, r)
+	} else {
+		s.reads = append(s.reads, r)
+	}
+}
+
+// Dispatch implements storage.Scheduler.
+func (s *Deadline) Dispatch(_, _ sim.Time) (*storage.Request, sim.Time) {
+	if len(s.reads) > 0 && (len(s.writes) == 0 || s.passed < s.starve) {
+		r := s.reads[0]
+		s.reads = s.reads[1:]
+		s.passed++
+		return r, 0
+	}
+	if len(s.writes) > 0 {
+		r := s.writes[0]
+		s.writes = s.writes[1:]
+		s.passed = 0
+		return r, 0
+	}
+	if len(s.reads) > 0 {
+		r := s.reads[0]
+		s.reads = s.reads[1:]
+		return r, 0
+	}
+	return nil, 0
+}
+
+// Pending implements storage.Scheduler.
+func (s *Deadline) Pending() int { return len(s.reads) + len(s.writes) }
+
+// FIFO services requests strictly in arrival order (Linux noop).
+type FIFO struct {
+	q []*storage.Request
+}
+
+// NewFIFO returns a FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements storage.Scheduler.
+func (s *FIFO) Name() string { return "noop" }
+
+// Add implements storage.Scheduler.
+func (s *FIFO) Add(r *storage.Request) { s.q = append(s.q, r) }
+
+// Dispatch implements storage.Scheduler.
+func (s *FIFO) Dispatch(_, _ sim.Time) (*storage.Request, sim.Time) {
+	if len(s.q) == 0 {
+		return nil, 0
+	}
+	r := s.q[0]
+	s.q = s.q[1:]
+	return r, 0
+}
+
+// Pending implements storage.Scheduler.
+func (s *FIFO) Pending() int { return len(s.q) }
+
+// ByName constructs a scheduler from its name; it returns nil for unknown
+// names.
+func ByName(name string) storage.Scheduler {
+	switch name {
+	case "cfq":
+		return NewCFQ()
+	case "deadline":
+		return NewDeadline()
+	case "noop", "fifo":
+		return NewFIFO()
+	}
+	return nil
+}

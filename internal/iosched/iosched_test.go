@@ -1,0 +1,179 @@
+package iosched
+
+import (
+	"testing"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+func req(owner string, class storage.Class, block int64, count int) *storage.Request {
+	return &storage.Request{Block: block, Count: count, Class: class, Owner: owner}
+}
+
+func TestCFQNormalFirst(t *testing.T) {
+	s := NewCFQ()
+	idle := req("m", storage.ClassIdle, 0, 1)
+	norm := req("w", storage.ClassNormal, 10, 1)
+	s.Add(idle)
+	s.Add(norm)
+	got, _ := s.Dispatch(sim.Hour, 0) // long idle: grace satisfied
+	if got != norm {
+		t.Fatal("normal request must dispatch before idle")
+	}
+	got, _ = s.Dispatch(sim.Hour, 0)
+	if got != idle {
+		t.Fatal("idle request should follow")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestCFQGraceWaitHint(t *testing.T) {
+	s := NewCFQ()
+	s.Add(req("m", storage.ClassIdle, 0, 1))
+	// Last normal completion at t=100ms; now is inside the grace window.
+	now := 100*sim.Millisecond + s.IdleGrace/2
+	got, wait := s.Dispatch(now, 100*sim.Millisecond)
+	if got != nil {
+		t.Fatal("idle dispatched inside grace window")
+	}
+	if wait != s.IdleGrace/2 {
+		t.Errorf("wait hint = %v, want %v", wait, s.IdleGrace/2)
+	}
+	got, _ = s.Dispatch(100*sim.Millisecond+s.IdleGrace, 100*sim.Millisecond)
+	if got == nil {
+		t.Fatal("idle should dispatch at grace boundary")
+	}
+}
+
+func TestCFQIdleSlicesAlternateOwners(t *testing.T) {
+	s := NewCFQ()
+	s.IdleSliceTime = 10 * sim.Millisecond
+	for i := 0; i < 4; i++ {
+		s.Add(req("a", storage.ClassIdle, int64(i), 2))
+		s.Add(req("b", storage.ClassIdle, int64(100+i), 2))
+	}
+	// Advance the clock 5ms per dispatch: each 10ms slice covers two
+	// requests before rotating to the other owner.
+	now := sim.Hour
+	var order []string
+	for {
+		r, _ := s.Dispatch(now, 0)
+		if r == nil {
+			break
+		}
+		order = append(order, r.Owner)
+		now += 5 * sim.Millisecond
+	}
+	want := []string{"a", "a", "b", "b", "a", "a", "b", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (per-owner time slices)", order, want)
+		}
+	}
+}
+
+func TestCFQSingleOwnerRunsThrough(t *testing.T) {
+	s := NewCFQ()
+	s.IdleSliceTime = sim.Microsecond // rotate constantly: still no starvation
+	for i := 0; i < 5; i++ {
+		s.Add(req("only", storage.ClassIdle, int64(i), 1))
+	}
+	for i := 0; i < 5; i++ {
+		r, _ := s.Dispatch(sim.Hour, 0)
+		if r == nil {
+			t.Fatalf("dispatch %d returned nil", i)
+		}
+	}
+}
+
+func TestCFQOwnerDrainsThenOther(t *testing.T) {
+	s := NewCFQ()
+	s.IdleSliceTime = sim.Hour
+	s.Add(req("a", storage.ClassIdle, 0, 1))
+	s.Add(req("b", storage.ClassIdle, 1, 1))
+	now := sim.Hour
+	r1, _ := s.Dispatch(now, 0)
+	if r1 == nil {
+		t.Fatal("first dispatch empty")
+	}
+	// Owner a's queue is drained mid-slice: CFQ anticipates a's next
+	// request for the grace period before handing the slice to b.
+	r2, wait := s.Dispatch(now, 0)
+	if r2 != nil || wait <= 0 {
+		t.Fatalf("expected anticipation, got %v wait=%v", r2, wait)
+	}
+	now += wait
+	r2, _ = s.Dispatch(now, 0)
+	if r2 == nil || r2.Owner == r1.Owner {
+		t.Fatalf("owners = %v %v", r1, r2)
+	}
+}
+
+func TestCFQAnticipationServesReturningOwner(t *testing.T) {
+	s := NewCFQ()
+	now := sim.Hour
+	s.Add(req("a", storage.ClassIdle, 0, 1))
+	s.Add(req("b", storage.ClassIdle, 100, 1))
+	if r, _ := s.Dispatch(now, 0); r == nil || r.Owner != "a" {
+		t.Fatal("first dispatch should serve a")
+	}
+	// a resubmits during anticipation: it keeps the slice, b waits.
+	if r, wait := s.Dispatch(now, 0); r != nil || wait <= 0 {
+		t.Fatal("expected anticipation")
+	}
+	s.Add(req("a", storage.ClassIdle, 1, 1))
+	if r, _ := s.Dispatch(now+sim.Microsecond, 0); r == nil || r.Owner != "a" {
+		t.Fatal("returning owner should keep its slice")
+	}
+}
+
+func TestDeadlineReadPreferenceWithStarvationBound(t *testing.T) {
+	s := NewDeadline()
+	w := req("x", storage.ClassNormal, 0, 1)
+	w.Write = true
+	s.Add(w)
+	for i := 0; i < 5; i++ {
+		s.Add(req("x", storage.ClassNormal, int64(i+1), 1))
+	}
+	// starve=2: two reads pass, then the write must go.
+	var kinds []bool
+	for i := 0; i < 4; i++ {
+		r, _ := s.Dispatch(0, 0)
+		kinds = append(kinds, r.Write)
+	}
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := NewFIFO()
+	a := req("a", storage.ClassIdle, 0, 1)
+	b := req("b", storage.ClassNormal, 1, 1)
+	s.Add(a)
+	s.Add(b)
+	if r, _ := s.Dispatch(0, 0); r != a {
+		t.Error("FIFO violated")
+	}
+	if r, _ := s.Dispatch(0, 0); r != b {
+		t.Error("FIFO violated")
+	}
+	if r, _ := s.Dispatch(0, 0); r != nil {
+		t.Error("empty dispatch should return nil")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewCFQ().Name() != "cfq" || NewDeadline().Name() != "deadline" || NewFIFO().Name() != "noop" {
+		t.Error("scheduler names wrong")
+	}
+}

@@ -1,0 +1,512 @@
+// Package lfs simulates a log-structured filesystem in the style of F2fs
+// (Lee et al., FAST 2015), the substrate for the paper's garbage
+// collection experiments (§5.4, Table 6).
+//
+// The device is divided into fixed-size segments. Dirty pages are
+// appended to the open log segment at writeback time; the previous copy
+// of each page is invalidated in place. Segments whose valid-block count
+// reaches zero are freed. A background garbage collector (gc.go) cleans
+// partially-valid segments by reading their remaining valid blocks —
+// through the page cache, which is where Duet's opportunity lies — and
+// re-dirtying them so writeback migrates them to the log head.
+//
+// The namespace is flat (files by name): the GC experiments exercise
+// block lifetimes, not directory trees.
+package lfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Ino is an inode number. 0 is never used.
+type Ino uint64
+
+// NoBlock marks a page with no on-device location (dirty-only or hole).
+const NoBlock int64 = -1
+
+// Sentinel errors.
+var (
+	ErrNotFound = errors.New("lfs: no such file")
+	ErrExists   = errors.New("lfs: file exists")
+	ErrNoSpace  = errors.New("lfs: no free segments")
+)
+
+// SegState is the lifecycle state of a segment.
+type SegState uint8
+
+const (
+	// SegFree segments contain no valid data and can become log heads.
+	SegFree SegState = iota
+	// SegOpen is the segment currently receiving log appends.
+	SegOpen
+	// SegFull segments have been written end to end; they become free
+	// again when every block in them is invalidated.
+	SegFull
+)
+
+type slotInfo struct {
+	ino   Ino
+	idx   int64
+	valid bool
+}
+
+// Segment is the unit of log allocation and cleaning.
+type Segment struct {
+	State SegState
+	Valid int      // number of valid blocks
+	Mtime sim.Time // time of last append (the "age" input to victim cost)
+	slots []slotInfo
+}
+
+// Inode is a (flat-namespace) file.
+type Inode struct {
+	Ino    Ino
+	Name   string
+	SizePg int64
+	blocks []int64  // page -> device block, NoBlock if not on device
+	vers   []uint64 // page -> content version
+}
+
+// Stats counts filesystem and cleaner activity.
+type Stats struct {
+	WritesPages    int64
+	ReadsPages     int64
+	MissPages      int64
+	WritebackPages int64
+	Invalidations  int64
+	SegsFreed      int64
+	SegsCleaned    int64
+	GCBlocksMoved  int64
+	GCBlocksRead   int64 // valid blocks the cleaner had to read from disk
+	GCBlocksCached int64 // valid blocks the cleaner found in cache
+	InPlaceWrites  int64 // writes forced into scattered invalid slots
+}
+
+// Config holds filesystem geometry.
+type Config struct {
+	// SegBlocks is the segment size in blocks (F2fs default 2 MiB = 512).
+	SegBlocks int
+	// ReservedSegs are kept free for cleaning headroom (overprovisioning).
+	ReservedSegs int
+}
+
+// DefaultConfig returns F2fs-like geometry.
+func DefaultConfig() Config { return Config{SegBlocks: 512, ReservedSegs: 8} }
+
+// FS is the simulated log-structured filesystem.
+type FS struct {
+	eng   *sim.Engine
+	id    pagecache.FSID
+	disk  *storage.Disk
+	cache *pagecache.Cache
+	cfg   Config
+
+	inodes  map[Ino]*Inode
+	byName  map[string]Ino
+	nextIno Ino
+
+	segs     []*Segment
+	freeSegs []int // free segment indices, ascending
+	curSeg   int   // open log segment (-1 if none)
+	curOff   int   // next slot in the open segment
+
+	diskVer []uint64 // content version on the medium, per block
+	stats   Stats
+}
+
+// New creates a log-structured filesystem spanning the device.
+func New(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, cfg Config) *FS {
+	if cfg.SegBlocks <= 0 {
+		cfg = DefaultConfig()
+	}
+	n := int(disk.Blocks()) / cfg.SegBlocks
+	fs := &FS{
+		eng:     e,
+		id:      id,
+		disk:    disk,
+		cache:   cache,
+		cfg:     cfg,
+		inodes:  make(map[Ino]*Inode),
+		byName:  make(map[string]Ino),
+		nextIno: 1,
+		segs:    make([]*Segment, n),
+		curSeg:  -1,
+		diskVer: make([]uint64, disk.Blocks()),
+	}
+	for i := range fs.segs {
+		fs.segs[i] = &Segment{State: SegFree, slots: make([]slotInfo, cfg.SegBlocks)}
+		fs.freeSegs = append(fs.freeSegs, i)
+	}
+	cache.RegisterFS(id, fs)
+	return fs
+}
+
+// ID returns the page-cache filesystem identifier.
+func (fs *FS) ID() pagecache.FSID { return fs.id }
+
+// Disk returns the underlying device.
+func (fs *FS) Disk() *storage.Disk { return fs.disk }
+
+// Cache returns the page cache.
+func (fs *FS) Cache() *pagecache.Cache { return fs.cache }
+
+// Stats returns live statistics.
+func (fs *FS) Stats() *Stats { return &fs.stats }
+
+// Config returns the geometry.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Segments returns the number of segments.
+func (fs *FS) Segments() int { return len(fs.segs) }
+
+// Segment returns segment metadata (read-only view).
+func (fs *FS) Segment(i int) *Segment { return fs.segs[i] }
+
+// FreeSegments returns the count of free segments.
+func (fs *FS) FreeSegments() int { return len(fs.freeSegs) }
+
+// SegOf maps a device block to its segment index.
+func (fs *FS) SegOf(block int64) int { return int(block) / fs.cfg.SegBlocks }
+
+// Fibmap translates a file page to its device block.
+func (fs *FS) Fibmap(ino Ino, idx int64) (int64, bool) {
+	i, ok := fs.inodes[ino]
+	if !ok || idx < 0 || idx >= int64(len(i.blocks)) || i.blocks[idx] == NoBlock {
+		return 0, false
+	}
+	return i.blocks[idx], true
+}
+
+// SlotOwner returns the file page stored in a block, if valid.
+func (fs *FS) SlotOwner(block int64) (Ino, int64, bool) {
+	seg := fs.segs[fs.SegOf(block)]
+	s := seg.slots[int(block)%fs.cfg.SegBlocks]
+	if !s.valid {
+		return 0, 0, false
+	}
+	return s.ino, s.idx, true
+}
+
+// --- namespace ------------------------------------------------------------
+
+// Create makes an empty file.
+func (fs *FS) Create(name string) (*Inode, error) {
+	if _, ok := fs.byName[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	i := &Inode{Ino: fs.nextIno, Name: name}
+	fs.nextIno++
+	fs.inodes[i.Ino] = i
+	fs.byName[name] = i.Ino
+	return i, nil
+}
+
+// Lookup finds a file by name.
+func (fs *FS) Lookup(name string) (*Inode, error) {
+	ino, ok := fs.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return fs.inodes[ino], nil
+}
+
+// Inode returns a file by number.
+func (fs *FS) Inode(ino Ino) (*Inode, bool) {
+	i, ok := fs.inodes[ino]
+	return i, ok
+}
+
+// Delete removes a file, invalidating its blocks and dropping its pages.
+func (fs *FS) Delete(name string) error {
+	i, err := fs.Lookup(name)
+	if err != nil {
+		return err
+	}
+	for _, b := range i.blocks {
+		if b != NoBlock {
+			fs.invalidate(b)
+		}
+	}
+	fs.cache.RemoveFile(fs.id, uint64(i.Ino))
+	delete(fs.byName, name)
+	delete(fs.inodes, i.Ino)
+	return nil
+}
+
+// Files returns all file names, sorted.
+func (fs *FS) Files() []string {
+	names := make([]string, 0, len(fs.byName))
+	for n := range fs.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- data path -------------------------------------------------------------
+
+func (fs *FS) pageKey(ino Ino, idx int64) pagecache.PageKey {
+	return pagecache.PageKey{FS: fs.id, Ino: uint64(ino), Index: uint64(idx)}
+}
+
+// Write dirties n pages at page offset off, extending the file if needed.
+// Log placement happens at writeback, as in any LFS.
+func (fs *FS) Write(p *sim.Proc, ino Ino, off, n int64) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if off+n > i.SizePg {
+		i.SizePg = off + n
+	}
+	for int64(len(i.blocks)) < i.SizePg {
+		i.blocks = append(i.blocks, NoBlock)
+		i.vers = append(i.vers, 0)
+	}
+	for idx := off; idx < off+n; idx++ {
+		i.vers[idx]++
+		key := fs.pageKey(ino, idx)
+		pg, cached := fs.cache.Lookup(key)
+		if !cached {
+			pg = fs.cache.Insert(p, key, i.vers[idx])
+		}
+		fs.cache.MarkDirty(pg, i.vers[idx])
+	}
+	fs.stats.WritesPages += n
+	return nil
+}
+
+// Append adds n pages at the end of the file.
+func (fs *FS) Append(p *sim.Proc, ino Ino, n int64) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	return fs.Write(p, ino, i.SizePg, n)
+}
+
+// Read brings n pages at offset off into the cache.
+func (fs *FS) Read(p *sim.Proc, ino Ino, off, n int64, class storage.Class, owner string) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	if off+n > i.SizePg {
+		n = i.SizePg - off
+	}
+	if n <= 0 {
+		return nil
+	}
+	fs.stats.ReadsPages += n
+	type miss struct{ idx, block int64 }
+	var misses []miss
+	for idx := off; idx < off+n; idx++ {
+		key := fs.pageKey(ino, idx)
+		if fs.cache.Contains(key) {
+			fs.cache.Lookup(key)
+			continue
+		}
+		b := i.blocks[idx]
+		if b == NoBlock {
+			fs.cache.Insert(p, key, 0)
+			continue
+		}
+		misses = append(misses, miss{idx, b})
+	}
+	fs.stats.MissPages += int64(len(misses))
+	sort.Slice(misses, func(a, b int) bool { return misses[a].block < misses[b].block })
+	for s := 0; s < len(misses); {
+		e := s + 1
+		for e < len(misses) && misses[e].block == misses[e-1].block+1 {
+			e++
+		}
+		if err := fs.disk.Read(p, misses[s].block, e-s, class, owner); err != nil {
+			return fmt.Errorf("lfs read inode %d: %w", ino, err)
+		}
+		for k := s; k < e; k++ {
+			fs.cache.Insert(p, fs.pageKey(ino, misses[k].idx), fs.diskVer[misses[k].block])
+		}
+		s = e
+	}
+	return nil
+}
+
+// ReadFile brings the whole file into the cache.
+func (fs *FS) ReadFile(p *sim.Proc, ino Ino, class storage.Class, owner string) error {
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotFound, ino)
+	}
+	return fs.Read(p, ino, 0, i.SizePg, class, owner)
+}
+
+// invalidate marks a block's slot invalid, freeing the segment when it
+// empties.
+func (fs *FS) invalidate(b int64) {
+	si := fs.SegOf(b)
+	seg := fs.segs[si]
+	slot := &seg.slots[int(b)%fs.cfg.SegBlocks]
+	if !slot.valid {
+		return
+	}
+	slot.valid = false
+	seg.Valid--
+	fs.stats.Invalidations++
+	if seg.Valid == 0 && seg.State == SegFull {
+		fs.freeSegment(si)
+	}
+}
+
+func (fs *FS) freeSegment(si int) {
+	seg := fs.segs[si]
+	seg.State = SegFree
+	for k := range seg.slots {
+		seg.slots[k] = slotInfo{}
+	}
+	pos := sort.SearchInts(fs.freeSegs, si)
+	fs.freeSegs = append(fs.freeSegs, 0)
+	copy(fs.freeSegs[pos+1:], fs.freeSegs[pos:])
+	fs.freeSegs[pos] = si
+	fs.stats.SegsFreed++
+}
+
+// openSegment makes a free segment the log head. It returns false when no
+// free segment exists (the caller falls back to in-place writes).
+func (fs *FS) openSegment() bool {
+	if len(fs.freeSegs) == 0 {
+		return false
+	}
+	si := fs.freeSegs[0]
+	fs.freeSegs = fs.freeSegs[1:]
+	fs.segs[si].State = SegOpen
+	fs.curSeg = si
+	fs.curOff = 0
+	return true
+}
+
+// logAlloc assigns the next log slot, returning the block number, or
+// NoBlock when the log is full (no free segments).
+func (fs *FS) logAlloc() int64 {
+	if fs.curSeg < 0 || fs.curOff >= fs.cfg.SegBlocks {
+		if fs.curSeg >= 0 {
+			seg := fs.segs[fs.curSeg]
+			seg.State = SegFull
+			if seg.Valid == 0 {
+				fs.freeSegment(fs.curSeg)
+			}
+			fs.curSeg = -1
+		}
+		if !fs.openSegment() {
+			return NoBlock
+		}
+	}
+	b := int64(fs.curSeg*fs.cfg.SegBlocks + fs.curOff)
+	fs.curOff++
+	return b
+}
+
+// inPlaceAlloc finds an invalid slot in some non-free segment — the
+// degraded mode F2fs enters when clean segments run out, which the paper
+// measured as a 57% latency increase (§6.2).
+func (fs *FS) inPlaceAlloc() int64 {
+	for si, seg := range fs.segs {
+		if seg.State != SegFull {
+			continue
+		}
+		for k, s := range seg.slots {
+			if !s.valid {
+				fs.stats.InPlaceWrites++
+				return int64(si*fs.cfg.SegBlocks + k)
+			}
+		}
+	}
+	return NoBlock
+}
+
+// WritebackPages implements pagecache.Backend: dirty pages are appended
+// to the log (or written in place under segment pressure), and their old
+// locations are invalidated.
+func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
+	ino := Ino(inoN)
+	i, ok := fs.inodes[ino]
+	if !ok {
+		return nil // deleted while dirty
+	}
+	type placed struct {
+		idx   int64
+		block int64
+		ver   uint64
+	}
+	var out []placed
+	for _, idxU := range indices {
+		idx := int64(idxU)
+		if idx >= int64(len(i.blocks)) {
+			continue
+		}
+		b := fs.logAlloc()
+		if b == NoBlock {
+			b = fs.inPlaceAlloc()
+		}
+		if b == NoBlock {
+			return fmt.Errorf("%w: writeback of inode %d", ErrNoSpace, ino)
+		}
+		old := i.blocks[idx]
+		seg := fs.segs[fs.SegOf(b)]
+		seg.slots[int(b)%fs.cfg.SegBlocks] = slotInfo{ino: ino, idx: idx, valid: true}
+		seg.Valid++
+		seg.Mtime = fs.eng.Now()
+		i.blocks[idx] = b
+		if old != NoBlock {
+			fs.invalidate(old)
+		}
+		out = append(out, placed{idx: idx, block: b, ver: i.vers[idx]})
+	}
+	// Device writes: coalesce physically contiguous placements (log
+	// appends are naturally sequential; in-place writes are scattered).
+	sort.Slice(out, func(a, b int) bool { return out[a].block < out[b].block })
+	for s := 0; s < len(out); {
+		e := s + 1
+		for e < len(out) && out[e].block == out[e-1].block+1 {
+			e++
+		}
+		if err := fs.disk.Write(p, out[s].block, e-s, storage.ClassNormal, "writeback"); err != nil {
+			return err
+		}
+		s = e
+	}
+	for _, pl := range out {
+		if i.blocks[pl.idx] == pl.block {
+			fs.diskVer[pl.block] = pl.ver
+		}
+	}
+	fs.stats.WritebackPages += int64(len(out))
+	return nil
+}
+
+// Sync writes back all dirty pages.
+func (fs *FS) Sync(p *sim.Proc) { fs.cache.Sync(p) }
+
+// Utilization returns the fraction of non-free segments' blocks that are
+// valid (a space-efficiency view used by tests).
+func (fs *FS) Utilization() float64 {
+	var used, valid int
+	for _, s := range fs.segs {
+		if s.State != SegFree {
+			used += fs.cfg.SegBlocks
+			valid += s.Valid
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return float64(valid) / float64(used)
+}

@@ -1,0 +1,166 @@
+// Package metrics implements the paper's evaluation metrics (Table 4) and
+// small statistics helpers: I/O saved, maximum utilization, speedup,
+// means and 95% confidence intervals, and plain-text rendering of the
+// tables and figure series the experiment harness produces.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation.
+func Stddev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// tStar95 holds two-sided 95% Student-t critical values for small sample
+// sizes (index = degrees of freedom); larger samples use 1.96.
+var tStar95 = []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228}
+
+// CI95 returns the mean and the half-width of the 95% confidence interval
+// (the paper reports 95% confidence intervals where variability matters).
+func CI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	t := 1.96
+	if n-1 < len(tStar95) {
+		t = tStar95[n-1]
+	}
+	half = t * Stddev(xs) / math.Sqrt(float64(n))
+	return mean, half
+}
+
+// Point is one (x, y) sample with an optional confidence half-width.
+type Point struct {
+	X, Y, CI float64
+}
+
+// Series is a named curve, as plotted in the paper's figures.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a set of series with axis labels.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the figure as aligned text: one row per X, one column per
+// series — the same rows/series a gnuplot input for the paper would have.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", f.Title)
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	// Collect the union of X values in first-series order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.CI > 0 {
+						cell = fmt.Sprintf("%.3f±%.3f", p.Y, p.CI)
+					} else {
+						cell = fmt.Sprintf("%.3f", p.Y)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	RenderTable(w, headers, rows)
+	fmt.Fprintf(w, "# y-axis: %s\n", f.YLabel)
+}
+
+// RenderTable writes an aligned text table.
+func RenderTable(w io.Writer, headers []string, rows [][]string) {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := width[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	fmt.Fprintln(w, line(headers))
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	fmt.Fprintln(w, line(sep))
+	for _, r := range rows {
+		fmt.Fprintln(w, line(r))
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Error("Stddev of one sample")
+	}
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	m, h := CI95([]float64{10, 12, 14})
+	if m != 12 {
+		t.Errorf("mean = %v", m)
+	}
+	// t(2 df) = 4.303; s = 2; half = 4.303*2/sqrt(3) ≈ 4.97.
+	if math.Abs(h-4.97) > 0.05 {
+		t.Errorf("half = %v", h)
+	}
+	if _, h := CI95([]float64{5}); h != 0 {
+		t.Error("single-sample CI should be 0")
+	}
+	// Identical samples: zero width.
+	if _, h := CI95([]float64{3, 3, 3}); h != 0 {
+		t.Errorf("identical-sample CI = %v", h)
+	}
+}
+
+func TestQuickCIContainsMean(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m, h := CI95(xs)
+		return h >= 0 && !math.IsNaN(m) && !math.IsNaN(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var b bytes.Buffer
+	RenderTable(&b, []string{"a", "bee"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := b.String()
+	if !strings.Contains(out, "a    bee") {
+		t.Errorf("headers misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "333") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title: "test", XLabel: "util", YLabel: "saved",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 0, Y: 0.5}, {X: 0.1, Y: 0.6, CI: 0.02}}},
+			{Name: "b", Points: []Point{{X: 0, Y: 0.1}}},
+		},
+	}
+	var b bytes.Buffer
+	f.Render(&b)
+	out := b.String()
+	for _, want := range []string{"# test", "util", "0.500", "0.600±0.020", "0.100", "saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.25) != "25%" {
+		t.Errorf("Pct = %q", Pct(0.25))
+	}
+}

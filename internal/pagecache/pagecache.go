@@ -1,0 +1,567 @@
+// Package pagecache simulates the operating system page cache that Duet
+// hooks into.
+//
+// Pages are keyed by (filesystem, inode, page index) and managed with a
+// global LRU under a fixed page budget. Dirty pages are written back by a
+// flusher process after a dirty-expire interval, mirroring the Linux
+// writeback behaviour the paper depends on for Flushed events.
+//
+// The cache does not store page contents. Each page carries a Version
+// stamp; content is defined as a deterministic function of
+// (inode, index, version), which preserves checksum and comparison
+// semantics (a write changes the version, so checksums change) without
+// allocating 4 KiB per page.
+//
+// Duet attaches to the cache through the Hook interface and receives the
+// four page events of the paper's Table 2: Added, Removed, Dirtied,
+// Flushed.
+package pagecache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"duet/internal/rbtree"
+	"duet/internal/sim"
+)
+
+// EventType is a page-cache event, as in Table 2 of the paper.
+type EventType uint8
+
+const (
+	// EventAdded fires when a page is inserted into the cache.
+	EventAdded EventType = iota
+	// EventRemoved fires when a page leaves the cache (eviction, file
+	// deletion, truncation).
+	EventRemoved
+	// EventDirtied fires when a clean page is marked dirty.
+	EventDirtied
+	// EventFlushed fires when a dirty page is written back and its dirty
+	// bit cleared.
+	EventFlushed
+)
+
+// String returns the event name.
+func (e EventType) String() string {
+	switch e {
+	case EventAdded:
+		return "Added"
+	case EventRemoved:
+		return "Removed"
+	case EventDirtied:
+		return "Dirtied"
+	case EventFlushed:
+		return "Flushed"
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(e))
+}
+
+// FSID identifies a filesystem (address space owner) within the machine.
+type FSID uint32
+
+// PageKey identifies a cached page.
+type PageKey struct {
+	FS    FSID
+	Ino   uint64
+	Index uint64 // page index within the file
+}
+
+func keyLess(a, b PageKey) bool {
+	if a.FS != b.FS {
+		return a.FS < b.FS
+	}
+	if a.Ino != b.Ino {
+		return a.Ino < b.Ino
+	}
+	return a.Index < b.Index
+}
+
+// FileKey identifies a file within the machine.
+type FileKey struct {
+	FS  FSID
+	Ino uint64
+}
+
+func fileKeyLess(a, b FileKey) bool {
+	if a.FS != b.FS {
+		return a.FS < b.FS
+	}
+	return a.Ino < b.Ino
+}
+
+// Page is a cached page. Fields are read-only outside this package.
+type Page struct {
+	Key     PageKey
+	Version uint64 // content stamp
+	Dirty   bool
+	DirtyAt sim.Time
+
+	elem *list.Element
+}
+
+// Hook receives page events. Duet implements this interface.
+type Hook interface {
+	PageEvent(ev EventType, pg *Page)
+}
+
+// EvictionAdvisor biases reclaim: pages the advisor wants kept are passed
+// over while other clean victims exist within the reclaim scan window.
+// This implements the paper's informed-cache-replacement future work
+// (§2): Duet can advise keeping pages whose maintenance hints have not
+// been consumed yet.
+type EvictionAdvisor interface {
+	// KeepPage reports whether eviction of this page should be deferred.
+	KeepPage(pg *Page) bool
+}
+
+// Backend writes dirty pages back to storage on behalf of the cache. Each
+// filesystem registers one.
+type Backend interface {
+	// WritebackPages performs device writes for the (sorted, same-inode)
+	// page indices. It is called from the flusher or eviction path and may
+	// block in virtual time.
+	WritebackPages(p *sim.Proc, ino uint64, indices []uint64) error
+}
+
+// Config holds cache tunables.
+type Config struct {
+	// CapacityPages is the memory budget in pages.
+	CapacityPages int
+	// DirtyExpire is how long a page stays dirty before the flusher
+	// writes it back (Linux dirty_expire_centisecs, default 30s).
+	DirtyExpire sim.Time
+	// WritebackInterval is how often the flusher runs (Linux
+	// dirty_writeback_centisecs, default 5s).
+	WritebackInterval sim.Time
+	// DirtyBackgroundRatio kicks the flusher immediately (ignoring
+	// DirtyExpire) when dirty pages exceed this fraction of the cache,
+	// like Linux dirty_background_ratio. Default 0.2.
+	DirtyBackgroundRatio float64
+}
+
+// DefaultConfig returns Linux-like writeback parameters for a cache of the
+// given size.
+func DefaultConfig(capacityPages int) Config {
+	return Config{
+		CapacityPages:     capacityPages,
+		DirtyExpire:       30 * sim.Second,
+		WritebackInterval: 5 * sim.Second,
+	}
+}
+
+// Stats tracks cache activity.
+type Stats struct {
+	Hits, Misses     int64
+	Inserts          int64
+	Evictions        int64
+	DirtyEvictions   int64 // evictions that forced a synchronous writeback
+	WritebackPages   int64
+	RemovedByDelete  int64
+	EventsDispatched int64
+	AdvisorDeferrals int64 // reclaim scans that passed over advised pages
+}
+
+// Cache is the simulated page cache.
+type Cache struct {
+	eng      *sim.Engine
+	cfg      Config
+	pages    map[PageKey]*Page
+	lru      *list.List // front = most recently used
+	dirty    *rbtree.Tree[PageKey, *Page]
+	files    map[FileKey]map[uint64]*Page // per-file page index
+	backends map[FSID]Backend
+	hooks    []Hook
+	advisor  EvictionAdvisor
+	stats    Stats
+
+	flusherKick *sim.WaitQueue
+}
+
+// New creates a cache and starts its flusher process on e.
+func New(e *sim.Engine, cfg Config) *Cache {
+	if cfg.CapacityPages <= 0 {
+		panic("pagecache: non-positive capacity")
+	}
+	if cfg.DirtyExpire <= 0 {
+		cfg.DirtyExpire = 30 * sim.Second
+	}
+	if cfg.WritebackInterval <= 0 {
+		cfg.WritebackInterval = 5 * sim.Second
+	}
+	if cfg.DirtyBackgroundRatio <= 0 {
+		cfg.DirtyBackgroundRatio = 0.2
+	}
+	c := &Cache{
+		eng:      e,
+		cfg:      cfg,
+		pages:    make(map[PageKey]*Page),
+		lru:      list.New(),
+		dirty:    rbtree.New[PageKey, *Page](keyLess),
+		files:    make(map[FileKey]map[uint64]*Page),
+		backends: make(map[FSID]Backend),
+	}
+	c.flusherKick = sim.NewWaitQueue(e)
+	e.Go("pagecache-flusher", c.flusher)
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a pointer to live statistics.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// DirtyLen returns the number of dirty pages.
+func (c *Cache) DirtyLen() int { return c.dirty.Len() }
+
+// RegisterFS attaches the writeback backend for a filesystem.
+func (c *Cache) RegisterFS(fs FSID, b Backend) { c.backends[fs] = b }
+
+// AddHook registers an event hook (Duet).
+func (c *Cache) AddHook(h Hook) { c.hooks = append(c.hooks, h) }
+
+// SetAdvisor installs (or, with nil, removes) the eviction advisor.
+func (c *Cache) SetAdvisor(a EvictionAdvisor) { c.advisor = a }
+
+// RemoveHook detaches a previously added hook.
+func (c *Cache) RemoveHook(h Hook) {
+	for i, hh := range c.hooks {
+		if hh == h {
+			c.hooks = append(c.hooks[:i], c.hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Cache) emit(ev EventType, pg *Page) {
+	c.stats.EventsDispatched++
+	for _, h := range c.hooks {
+		h.PageEvent(ev, pg)
+	}
+}
+
+// Lookup returns the page if cached, promoting it in the LRU.
+func (c *Cache) Lookup(key PageKey) (*Page, bool) {
+	pg, ok := c.pages[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(pg.elem)
+	return pg, true
+}
+
+// Peek returns the page if cached without perturbing the LRU or stats.
+func (c *Cache) Peek(key PageKey) (*Page, bool) {
+	pg, ok := c.pages[key]
+	return pg, ok
+}
+
+// Contains reports whether the page is cached, without LRU effects.
+func (c *Cache) Contains(key PageKey) bool {
+	_, ok := c.pages[key]
+	return ok
+}
+
+// Insert adds a clean page with the given content version, evicting as
+// needed, and fires Added. If the page is already present it is promoted
+// and returned unchanged. Insert may block (eviction of a dirty page
+// forces a synchronous writeback), so it needs the calling process.
+func (c *Cache) Insert(p *sim.Proc, key PageKey, version uint64) *Page {
+	if pg, ok := c.pages[key]; ok {
+		c.lru.MoveToFront(pg.elem)
+		return pg
+	}
+	c.makeRoom(p)
+	pg := &Page{Key: key, Version: version}
+	pg.elem = c.lru.PushFront(pg)
+	c.pages[key] = pg
+	fk := FileKey{key.FS, key.Ino}
+	fp := c.files[fk]
+	if fp == nil {
+		fp = make(map[uint64]*Page)
+		c.files[fk] = fp
+	}
+	fp[key.Index] = pg
+	c.stats.Inserts++
+	c.emit(EventAdded, pg)
+	return pg
+}
+
+// makeRoom evicts pages until there is room for one more.
+func (c *Cache) makeRoom(p *sim.Proc) {
+	for len(c.pages) >= c.cfg.CapacityPages {
+		victim := c.pickVictim()
+		if victim == nil {
+			// The reclaim window is all dirty: write back the coldest
+			// page's whole file (batched into coalesced device writes,
+			// as kernel reclaim hands contiguous ranges to writeback)
+			// and retry the scan for a clean victim.
+			tail := c.lru.Back().Value.(*Page)
+			c.stats.DirtyEvictions++
+			_ = c.SyncFile(p, tail.Key.FS, tail.Key.Ino)
+			victim = c.pickVictim()
+			if victim == nil {
+				// The file was re-dirtied or empty: fall back to a single
+				// forced page writeback.
+				c.writebackOne(p, tail)
+				victim = tail
+			}
+		}
+		c.removePage(victim, EventRemoved)
+		c.stats.Evictions++
+	}
+}
+
+// pickVictim scans from the LRU tail for a clean page, skipping up to a
+// bounded number of dirty pages (approximating kernel reclaim, which
+// prefers clean pages). With an advisor installed, advised pages are
+// passed over in a first pass; if only advised clean pages remain in the
+// scan window, the coldest of them is evicted anyway (advice defers, it
+// does not pin — pinning would recreate the memory-pressure problems the
+// paper avoids, §3.1).
+func (c *Cache) pickVictim() *Page {
+	const scanLimit = 128
+	var fallback *Page
+	e := c.lru.Back()
+	for i := 0; e != nil && i < scanLimit; i++ {
+		pg := e.Value.(*Page)
+		if !pg.Dirty {
+			if c.advisor == nil || !c.advisor.KeepPage(pg) {
+				return pg
+			}
+			if fallback == nil {
+				fallback = pg
+				c.stats.AdvisorDeferrals++
+			}
+		}
+		e = e.Prev()
+	}
+	return fallback
+}
+
+// writebackOne synchronously writes a single dirty page back.
+func (c *Cache) writebackOne(p *sim.Proc, pg *Page) {
+	b := c.backends[pg.Key.FS]
+	if b == nil {
+		panic(fmt.Sprintf("pagecache: no backend for fs %d", pg.Key.FS))
+	}
+	ver := pg.Version
+	_ = b.WritebackPages(p, pg.Key.Ino, []uint64{pg.Key.Index})
+	c.stats.WritebackPages++
+	c.markCleanIf(pg.Key, ver)
+}
+
+// removePage drops the page from all indices and fires ev.
+func (c *Cache) removePage(pg *Page, ev EventType) {
+	delete(c.pages, pg.Key)
+	c.lru.Remove(pg.elem)
+	if pg.Dirty {
+		c.dirty.Delete(pg.Key)
+		pg.Dirty = false
+	}
+	fk := FileKey{pg.Key.FS, pg.Key.Ino}
+	if fp := c.files[fk]; fp != nil {
+		delete(fp, pg.Key.Index)
+		if len(fp) == 0 {
+			delete(c.files, fk)
+		}
+	}
+	c.emit(ev, pg)
+}
+
+// MarkDirty sets the page's dirty bit and bumps its content version,
+// firing Dirtied on the clean-to-dirty transition.
+func (c *Cache) MarkDirty(pg *Page, version uint64) {
+	pg.Version = version
+	if pg.Dirty {
+		return
+	}
+	pg.Dirty = true
+	pg.DirtyAt = c.eng.Now()
+	c.dirty.Set(pg.Key, pg)
+	c.emit(EventDirtied, pg)
+	// Dirty-background throttling: too many dirty pages wake the flusher
+	// immediately rather than waiting out the expiry interval.
+	if float64(c.dirty.Len()) > c.cfg.DirtyBackgroundRatio*float64(c.cfg.CapacityPages) {
+		c.flusherKick.WakeAll()
+	}
+}
+
+// markCleanIf clears the dirty bit if the page is still at the version the
+// writeback captured, firing Flushed. Re-dirtied pages stay dirty.
+func (c *Cache) markCleanIf(key PageKey, version uint64) {
+	pg, ok := c.pages[key]
+	if !ok || !pg.Dirty || pg.Version != version {
+		return
+	}
+	pg.Dirty = false
+	c.dirty.Delete(key)
+	c.emit(EventFlushed, pg)
+}
+
+// Remove drops a page (file truncation or deletion), firing Removed.
+// Dirty pages are discarded without writeback, matching truncate
+// semantics.
+func (c *Cache) Remove(key PageKey) bool {
+	pg, ok := c.pages[key]
+	if !ok {
+		return false
+	}
+	c.removePage(pg, EventRemoved)
+	return true
+}
+
+// RemoveFile drops every cached page of a file (deletion).
+func (c *Cache) RemoveFile(fs FSID, ino uint64) int {
+	keys := c.fileKeys(fs, ino)
+	for _, k := range keys {
+		c.removePage(c.pages[k], EventRemoved)
+		c.stats.RemovedByDelete++
+	}
+	return len(keys)
+}
+
+// fileKeys returns the sorted page keys of a file.
+func (c *Cache) fileKeys(fs FSID, ino uint64) []PageKey {
+	fp := c.files[FileKey{fs, ino}]
+	if len(fp) == 0 {
+		return nil
+	}
+	keys := make([]PageKey, 0, len(fp))
+	for idx := range fp {
+		keys = append(keys, PageKey{fs, ino, idx})
+	}
+	sortPageKeys(keys)
+	return keys
+}
+
+func sortPageKeys(keys []PageKey) {
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+}
+
+// FilePages returns the number of cached pages of a file.
+func (c *Cache) FilePages(fs FSID, ino uint64) int {
+	return len(c.files[FileKey{fs, ino}])
+}
+
+// IterateFile calls fn for each cached page of a file in index order.
+func (c *Cache) IterateFile(fs FSID, ino uint64, fn func(pg *Page) bool) {
+	for _, k := range c.fileKeys(fs, ino) {
+		if pg, ok := c.pages[k]; ok {
+			if !fn(pg) {
+				return
+			}
+		}
+	}
+}
+
+// Iterate calls fn for every cached page in key order (used by Duet's
+// registration scan). It snapshots keys first, so fn may mutate the cache.
+func (c *Cache) Iterate(fn func(pg *Page) bool) {
+	keys := make([]PageKey, 0, len(c.pages))
+	for k := range c.pages {
+		keys = append(keys, k)
+	}
+	sortPageKeys(keys)
+	for _, k := range keys {
+		if pg, ok := c.pages[k]; ok {
+			if !fn(pg) {
+				return
+			}
+		}
+	}
+}
+
+// SyncFile writes back all dirty pages of one file immediately.
+func (c *Cache) SyncFile(p *sim.Proc, fs FSID, ino uint64) error {
+	var idx []uint64
+	var vers []uint64
+	c.IterateFile(fs, ino, func(pg *Page) bool {
+		if pg.Dirty {
+			idx = append(idx, pg.Key.Index)
+			vers = append(vers, pg.Version)
+		}
+		return true
+	})
+	if len(idx) == 0 {
+		return nil
+	}
+	b := c.backends[fs]
+	if b == nil {
+		panic(fmt.Sprintf("pagecache: no backend for fs %d", fs))
+	}
+	if err := b.WritebackPages(p, ino, idx); err != nil {
+		return err
+	}
+	c.stats.WritebackPages += int64(len(idx))
+	for i, ix := range idx {
+		c.markCleanIf(PageKey{fs, ino, ix}, vers[i])
+	}
+	return nil
+}
+
+// Sync writes back every dirty page.
+func (c *Cache) Sync(p *sim.Proc) {
+	c.flushExpired(p, 0)
+}
+
+// flusher is the background writeback process. It wakes on its periodic
+// interval, or early when the dirty-background threshold is crossed.
+func (c *Cache) flusher(p *sim.Proc) {
+	for {
+		c.eng.Go("pagecache-flusher-timer", func(tp *sim.Proc) {
+			tp.Sleep(c.cfg.WritebackInterval)
+			c.flusherKick.WakeAll()
+		})
+		c.flusherKick.Wait(p, "flusher interval")
+		if float64(c.dirty.Len()) > c.cfg.DirtyBackgroundRatio*float64(c.cfg.CapacityPages) {
+			c.flushExpired(p, 0) // over background ratio: flush regardless of age
+		} else {
+			c.flushExpired(p, c.cfg.DirtyExpire)
+		}
+	}
+}
+
+// flushExpired writes back dirty pages older than minAge, grouped by file.
+func (c *Cache) flushExpired(p *sim.Proc, minAge sim.Time) {
+	now := c.eng.Now()
+	type batch struct {
+		fs   FSID
+		ino  uint64
+		idx  []uint64
+		vers []uint64
+	}
+	var batches []batch
+	var cur *batch
+	c.dirty.Ascend(nil, func(k PageKey, pg *Page) bool {
+		if now-pg.DirtyAt < minAge {
+			return true
+		}
+		if cur == nil || cur.fs != k.FS || cur.ino != k.Ino {
+			batches = append(batches, batch{fs: k.FS, ino: k.Ino})
+			cur = &batches[len(batches)-1]
+		}
+		cur.idx = append(cur.idx, k.Index)
+		cur.vers = append(cur.vers, pg.Version)
+		return true
+	})
+	for _, b := range batches {
+		be := c.backends[b.fs]
+		if be == nil {
+			panic(fmt.Sprintf("pagecache: no backend for fs %d", b.fs))
+		}
+		if err := be.WritebackPages(p, b.ino, b.idx); err != nil {
+			continue // transient write errors leave pages dirty for retry
+		}
+		c.stats.WritebackPages += int64(len(b.idx))
+		for i, ix := range b.idx {
+			c.markCleanIf(PageKey{b.fs, b.ino, ix}, b.vers[i])
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package rbtree provides a generic ordered map implemented as a
+// left-leaning red-black tree.
+//
+// The Duet paper uses red-black trees in two places: to dynamically
+// allocate portions of the relevant/done bitmaps (§4.2), and as the
+// priority queue in the task-side library (§4.2). This package backs both,
+// as well as the COW filesystem's free-space map.
+package rbtree
+
+// Tree is an ordered map from K to V. The zero value is not usable; create
+// trees with New. Trees are not safe for concurrent use, which is fine:
+// everything above internal/sim is single-threaded by construction.
+type Tree[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type node[K, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	red         bool
+}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+func isRed[K, V any](n *node[K, V]) bool { return n != nil && n.red }
+
+func rotateLeft[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors[K, V any](h *node[K, V]) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func fixUp[K, V any](h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+// Set inserts or replaces the value for key.
+func (t *Tree[K, V]) Set(key K, val V) {
+	t.root = t.insert(t.root, key, val)
+	t.root.red = false
+}
+
+func (t *Tree[K, V]) insert(h *node[K, V], key K, val V) *node[K, V] {
+	if h == nil {
+		t.size++
+		return &node[K, V]{key: key, val: val, red: true}
+	}
+	switch {
+	case t.less(key, h.key):
+		h.left = t.insert(h.left, key, val)
+	case t.less(h.key, key):
+		h.right = t.insert(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h)
+}
+
+// Get returns the value stored for key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Min returns the smallest entry.
+func (t *Tree[K, V]) Min() (key K, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, val, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest entry.
+func (t *Tree[K, V]) Max() (key K, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, val, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Floor returns the largest entry with key <= k.
+func (t *Tree[K, V]) Floor(k K) (key K, val V, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.key):
+			n = n.left
+		case t.less(n.key, k):
+			key, val, ok = n.key, n.val, true
+			n = n.right
+		default:
+			return n.key, n.val, true
+		}
+	}
+	return key, val, ok
+}
+
+// Ceiling returns the smallest entry with key >= k.
+func (t *Tree[K, V]) Ceiling(k K) (key K, val V, ok bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(n.key, k):
+			n = n.right
+		case t.less(k, n.key):
+			key, val, ok = n.key, n.val, true
+			n = n.left
+		default:
+			return n.key, n.val, true
+		}
+	}
+	return key, val, ok
+}
+
+func moveRedLeft[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode[K, V any](h *node[K, V]) *node[K, V] {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin[K, V any](h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// DeleteMin removes and returns the smallest entry.
+func (t *Tree[K, V]) DeleteMin() (key K, val V, ok bool) {
+	if t.root == nil {
+		return key, val, false
+	}
+	m := minNode(t.root)
+	key, val, ok = m.key, m.val, true
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = deleteMin(t.root)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return key, val, ok
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if !t.Contains(key) {
+		return false
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if t.less(key, h.key) {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if !t.less(h.key, key) && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if !t.less(h.key, key) && !t.less(key, h.key) {
+			m := minNode(h.right)
+			h.key, h.val = m.key, m.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+// Ascend visits entries in increasing key order starting from the smallest
+// key >= from (or the minimum if from is nil), until fn returns false.
+func (t *Tree[K, V]) Ascend(from *K, fn func(key K, val V) bool) {
+	t.ascend(t.root, from, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], from *K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if from == nil || t.less(*from, n.key) {
+		if !t.ascend(n.left, from, fn) {
+			return false
+		}
+	}
+	if from == nil || !t.less(n.key, *from) {
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	return t.ascend(n.right, from, fn)
+}
+
+// Descend visits entries in decreasing key order starting from the largest
+// key <= from (or the maximum if from is nil), until fn returns false.
+func (t *Tree[K, V]) Descend(from *K, fn func(key K, val V) bool) {
+	t.descend(t.root, from, fn)
+}
+
+func (t *Tree[K, V]) descend(n *node[K, V], from *K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if from == nil || t.less(n.key, *from) {
+		if !t.descend(n.right, from, fn) {
+			return false
+		}
+	}
+	if from == nil || !t.less(*from, n.key) {
+		if !fn(n.key, n.val) {
+			return false
+		}
+	}
+	return t.descend(n.left, from, fn)
+}
+
+// checkInvariants validates red-black and BST properties; used by tests.
+func (t *Tree[K, V]) checkInvariants() error {
+	_, err := check(t.root, t.less, false)
+	return err
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+func check[K, V any](n *node[K, V], less func(a, b K) bool, parentRed bool) (blackHeight int, err error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.red && parentRed {
+		return 0, invariantError("red node with red parent")
+	}
+	if isRed(n.right) {
+		return 0, invariantError("right-leaning red link")
+	}
+	if n.left != nil && !less(n.left.key, n.key) {
+		return 0, invariantError("BST order violated on left")
+	}
+	if n.right != nil && !less(n.key, n.right.key) {
+		return 0, invariantError("BST order violated on right")
+	}
+	lh, err := check(n.left, less, n.red)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := check(n.right, less, n.red)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, invariantError("unequal black heights")
+	}
+	if !n.red {
+		lh++
+	}
+	return lh, nil
+}

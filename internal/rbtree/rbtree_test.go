@@ -1,0 +1,279 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, string] {
+	return New[int, string](func(a, b int) bool { return a < b })
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Error("Get on empty should fail")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty should fail")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty should fail")
+	}
+	if _, _, ok := tr.DeleteMin(); ok {
+		t.Error("DeleteMin on empty should fail")
+	}
+	if tr.Delete(1) {
+		t.Error("Delete on empty should report false")
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	tr := intTree()
+	tr.Set(2, "two")
+	tr.Set(1, "one")
+	tr.Set(3, "three")
+	tr.Set(2, "TWO") // replace
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(2); !ok || v != "TWO" {
+		t.Errorf("Get(2) = %q,%v", v, ok)
+	}
+	if !tr.Delete(2) {
+		t.Error("Delete(2) should succeed")
+	}
+	if tr.Contains(2) {
+		t.Error("2 still present after delete")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestMinMaxFloorCeiling(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Set(k, "")
+	}
+	if k, _, _ := tr.Min(); k != 10 {
+		t.Errorf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 40 {
+		t.Errorf("Max = %d", k)
+	}
+	cases := []struct {
+		q, floor, ceil int
+		fok, cok       bool
+	}{
+		{5, 0, 10, false, true},
+		{10, 10, 10, true, true},
+		{25, 20, 30, true, true},
+		{40, 40, 40, true, true},
+		{45, 40, 0, true, false},
+	}
+	for _, c := range cases {
+		if k, _, ok := tr.Floor(c.q); ok != c.fok || (ok && k != c.floor) {
+			t.Errorf("Floor(%d) = %d,%v, want %d,%v", c.q, k, ok, c.floor, c.fok)
+		}
+		if k, _, ok := tr.Ceiling(c.q); ok != c.cok || (ok && k != c.ceil) {
+			t.Errorf("Ceiling(%d) = %d,%v, want %d,%v", c.q, k, ok, c.ceil, c.cok)
+		}
+	}
+}
+
+func TestAscendDescend(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{5, 1, 4, 2, 3} {
+		tr.Set(k, "")
+	}
+	var got []int
+	tr.Ascend(nil, func(k int, _ string) bool { got = append(got, k); return true })
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Ascend = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v, want %v", got, want)
+		}
+	}
+
+	got = got[:0]
+	from := 3
+	tr.Ascend(&from, func(k int, _ string) bool { got = append(got, k); return true })
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Errorf("Ascend(from 3) = %v", got)
+	}
+
+	got = got[:0]
+	tr.Descend(nil, func(k int, _ string) bool { got = append(got, k); return true })
+	if len(got) != 5 || got[0] != 5 || got[4] != 1 {
+		t.Errorf("Descend = %v", got)
+	}
+
+	got = got[:0]
+	tr.Descend(&from, func(k int, _ string) bool { got = append(got, k); return true })
+	if len(got) != 3 || got[0] != 3 || got[2] != 1 {
+		t.Errorf("Descend(from 3) = %v", got)
+	}
+
+	// Early termination.
+	n := 0
+	tr.Ascend(nil, func(int, string) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early-stop visited %d", n)
+	}
+}
+
+func TestDeleteMinDrains(t *testing.T) {
+	tr := intTree()
+	for i := 20; i >= 1; i-- {
+		tr.Set(i, "")
+	}
+	for i := 1; i <= 20; i++ {
+		k, _, ok := tr.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("DeleteMin #%d = %d,%v", i, k, ok)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after DeleteMin(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after draining", tr.Len())
+	}
+}
+
+// TestRandomAgainstModel drives the tree with random operations and checks
+// every result against a plain map + sort model, verifying red-black
+// invariants as it goes.
+func TestRandomAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := intTree()
+	model := map[int]string{}
+	const ops = 5000
+	for i := 0; i < ops; i++ {
+		k := rng.Intn(200)
+		switch rng.Intn(3) {
+		case 0:
+			v := string(rune('a' + rng.Intn(26)))
+			tr.Set(k, v)
+			model[k] = v
+		case 1:
+			got := tr.Delete(k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 2:
+			gv, gok := tr.Get(k)
+			wv, wok := model[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("op %d: Get(%d) = %q,%v, want %q,%v", i, k, gv, gok, wv, wok)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, want %d", i, tr.Len(), len(model))
+		}
+		if i%97 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	// Final full-order comparison.
+	keys := make([]int, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var got []int
+	tr.Ascend(nil, func(k int, _ string) bool { got = append(got, k); return true })
+	if len(got) != len(keys) {
+		t.Fatalf("iteration count %d, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("order mismatch at %d: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+// TestQuickSortedIteration is a property test: for any insertion sequence,
+// ascending iteration yields the sorted, de-duplicated keys.
+func TestQuickSortedIteration(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := intTree()
+		uniq := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), "")
+			uniq[int(k)] = true
+		}
+		if tr.Len() != len(uniq) {
+			return false
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		prev, first := 0, true
+		ok := true
+		tr.Ascend(nil, func(k int, _ string) bool {
+			if !first && k <= prev {
+				ok = false
+				return false
+			}
+			prev, first = k, false
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteAll property: inserting then deleting every key leaves an
+// empty, valid tree.
+func TestQuickDeleteAll(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tr := intTree()
+		for _, k := range keys {
+			tr.Set(int(k), "v")
+		}
+		for _, k := range keys {
+			tr.Delete(int(k))
+			if err := tr.checkInvariants(); err != nil {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeSet(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i&0xffff, "")
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 1<<16; i++ {
+		tr.Set(i, "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i & 0xffff)
+	}
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+)
+
+// Engine is a discrete-event scheduler. Processes (Proc) are goroutines
+// that cooperate with the engine: exactly one process runs at a time, and
+// the virtual clock advances only when every process is blocked.
+//
+// Engines are not safe for concurrent use from outside the simulation; the
+// only goroutines that may touch an Engine are the one that calls Run and
+// the processes the engine itself resumes (which never run concurrently).
+type Engine struct {
+	now      Time
+	seq      uint64 // tiebreaker for deterministic ordering
+	timers   timerHeap
+	runq     []*Proc
+	yield    chan struct{}
+	cur      *Proc
+	procs    []*Proc // all procs ever created, in creation order
+	liveN    int
+	running  bool
+	stopping bool
+	failure  error
+	seed     int64
+	nextPID  int
+}
+
+// ErrStopped is returned by Wait-style primitives when they are interrupted
+// by engine shutdown. Domain code normally never sees it: shutdown unwinds
+// processes with a private panic value instead.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// New creates an engine whose randomness derives from seed. Two engines
+// built with the same seed and driven by the same code produce identical
+// event sequences.
+func New(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// DeriveRand returns a deterministic random source for the named component.
+// The stream depends only on the engine seed and the name, so adding a new
+// component does not perturb the randomness seen by existing ones.
+func (e *Engine) DeriveRand(name string) *rand.Rand {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(e.seed)
+	h *= 1099511628211
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// procKilled is the panic value used to unwind processes at shutdown.
+type procKilled struct{}
+
+// Proc is a simulated process. Every Proc method must be called from the
+// process's own goroutine while it is the running process.
+type Proc struct {
+	eng        *Engine
+	name       string
+	pid        int
+	wake       chan struct{}
+	done       bool
+	started    bool
+	waitReason string
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Rand returns a deterministic random source scoped to this process.
+func (p *Proc) Rand() *rand.Rand {
+	return p.eng.DeriveRand(fmt.Sprintf("proc:%s#%d", p.name, p.pid))
+}
+
+// Go creates a process that will run fn. It may be called before Run to
+// seed the simulation, or by a running process to spawn concurrent work.
+// The new process starts after the caller next blocks.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		pid:  e.nextPID,
+		wake: make(chan struct{}, 1),
+	}
+	e.nextPID++
+	e.procs = append(e.procs, p)
+	if e.stopping {
+		p.done = true
+		return p
+	}
+	e.liveN++
+	go func() {
+		<-p.wake
+		p.started = true
+		// The completion handshake runs in a defer so it fires even when
+		// the body exits via runtime.Goexit (e.g. t.Fatal inside a test
+		// process) — otherwise the scheduler would block forever.
+		defer func() {
+			p.done = true
+			e.liveN--
+			e.yield <- struct{}{}
+		}()
+		if !e.stopping {
+			runProc(p, fn)
+		}
+	}()
+	e.ready(p)
+	return p
+}
+
+func runProc(p *Proc, fn func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				return
+			}
+			e := p.eng
+			if e.failure == nil {
+				e.failure = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+			e.stopping = true
+		}
+	}()
+	fn(p)
+}
+
+// ready marks p runnable at the current time.
+func (e *Engine) ready(p *Proc) {
+	if p.done {
+		return
+	}
+	e.runq = append(e.runq, p)
+}
+
+// park blocks the calling process until it is made runnable again.
+func (p *Proc) park(reason string) {
+	e := p.eng
+	p.waitReason = reason
+	e.yield <- struct{}{}
+	<-p.wake
+	p.waitReason = ""
+	if e.stopping {
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time. Non-positive durations
+// yield the processor and resume at the current time after other runnable
+// processes have had a turn.
+func (p *Proc) Sleep(d Time) {
+	e := p.eng
+	if d <= 0 {
+		e.ready(p)
+		p.park("yield")
+		return
+	}
+	e.seq++
+	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p})
+	p.park(fmt.Sprintf("sleep until %s", (e.now + d).String()))
+}
+
+// Yield gives other runnable processes a turn without advancing time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Stop requests that the simulation end. It may be called from inside a
+// process or (before Run returns) from the driving goroutine between runs.
+// All processes are unwound; Run then returns.
+func (e *Engine) Stop() { e.stopping = true }
+
+// Stopping reports whether shutdown has been requested.
+func (e *Engine) Stopping() bool { return e.stopping }
+
+// Run executes the simulation until it quiesces (no runnable process and
+// no pending timer), or until Stop is called. It returns the first process
+// panic converted to an error, if any occurred.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopping {
+		if len(e.runq) == 0 {
+			if e.timers.Len() == 0 {
+				break // quiescent: every live proc is waiting on a condition
+			}
+			tm := heap.Pop(&e.timers).(timer)
+			if tm.at > e.now {
+				e.now = tm.at
+			}
+			e.ready(tm.p)
+			continue
+		}
+		p := e.runq[0]
+		e.runq = e.runq[1:]
+		e.resume(p)
+	}
+	e.shutdown()
+	return e.failure
+}
+
+// RunFor runs the simulation for at most d of virtual time.
+func (e *Engine) RunFor(d Time) error {
+	e.Go("sim.stop-timer", func(p *Proc) {
+		p.Sleep(d)
+		e.Stop()
+	})
+	return e.Run()
+}
+
+func (e *Engine) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	e.cur = p
+	p.wake <- struct{}{}
+	<-e.yield
+	e.cur = nil
+}
+
+// shutdown unwinds every live process so no goroutines leak.
+func (e *Engine) shutdown() {
+	e.stopping = true
+	e.runq = nil
+	e.timers = nil
+	for {
+		resumed := false
+		for _, p := range e.procs {
+			if !p.done {
+				e.resume(p)
+				resumed = true
+			}
+		}
+		if !resumed {
+			break
+		}
+	}
+}
+
+// DumpWaiters returns a human-readable description of blocked processes,
+// useful when a simulation quiesces unexpectedly.
+func (e *Engine) DumpWaiters() string {
+	var b strings.Builder
+	for _, p := range e.procs {
+		if !p.done && p.waitReason != "" {
+			fmt.Fprintf(&b, "proc %q: %s\n", p.name, p.waitReason)
+		}
+	}
+	return b.String()
+}
+
+type timer struct {
+	at  Time
+	seq uint64
+	p   *Proc
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h timerHeap) peek() (timer, bool) {
+	if len(h) == 0 {
+		return timer{}, false
+	}
+	return h[0], true
+}

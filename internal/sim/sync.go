@@ -1,0 +1,228 @@
+package sim
+
+import "fmt"
+
+// WaitQueue is a FIFO list of processes blocked on a condition. It is the
+// building block for the other primitives. The usual pattern is:
+//
+//	for !condition {
+//		q.Wait(p, "waiting for condition")
+//	}
+//
+// Wakers call WakeOne or WakeAll after establishing the condition; woken
+// processes re-check it, so spurious wakeups are harmless.
+type WaitQueue struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewWaitQueue returns an empty queue bound to e.
+func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{e: e} }
+
+// Wait blocks the calling process until it is woken. The reason string is
+// surfaced by Engine.DumpWaiters for debugging stalled simulations.
+func (q *WaitQueue) Wait(p *Proc, reason string) {
+	q.waiters = append(q.waiters, p)
+	p.park(reason)
+}
+
+// WakeOne makes the longest-waiting process runnable. It reports whether a
+// process was woken.
+func (q *WaitQueue) WakeOne() bool {
+	for len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if !p.done {
+			q.e.ready(p)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeAll makes every waiting process runnable.
+func (q *WaitQueue) WakeAll() {
+	for q.WakeOne() {
+	}
+}
+
+// Len returns the number of blocked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Future is a one-shot completion carrying a value and an error. A process
+// blocks on Wait until another process calls Complete. Completing twice
+// panics; waiting after completion returns immediately.
+type Future[T any] struct {
+	e    *Engine
+	done bool
+	val  T
+	err  error
+	q    WaitQueue
+}
+
+// NewFuture returns an incomplete future bound to e.
+func NewFuture[T any](e *Engine) *Future[T] {
+	return &Future[T]{e: e, q: WaitQueue{e: e}}
+}
+
+// Complete resolves the future and wakes all waiters.
+func (f *Future[T]) Complete(v T, err error) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	f.val = v
+	f.err = err
+	f.q.WakeAll()
+}
+
+// Done reports whether the future has been completed.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Wait blocks until the future completes and returns its value and error.
+func (f *Future[T]) Wait(p *Proc) (T, error) {
+	for !f.done {
+		f.q.Wait(p, "future")
+	}
+	return f.val, f.err
+}
+
+// Chan is a simulated channel: a FIFO of T with an optional capacity bound.
+// Unlike native Go channels it participates in virtual time — senders and
+// receivers block as sim processes. A capacity <= 0 means unbounded.
+type Chan[T any] struct {
+	e      *Engine
+	buf    []T
+	cap    int
+	closed bool
+	sendQ  WaitQueue
+	recvQ  WaitQueue
+	name   string
+}
+
+// NewChan returns a channel with the given capacity (<= 0 for unbounded).
+func NewChan[T any](e *Engine, capacity int, name string) *Chan[T] {
+	return &Chan[T]{e: e, cap: capacity, sendQ: WaitQueue{e: e}, recvQ: WaitQueue{e: e}, name: name}
+}
+
+// Send enqueues v, blocking while the channel is full. Sending on a closed
+// channel panics, mirroring native channel semantics.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	for c.cap > 0 && len(c.buf) >= c.cap && !c.closed {
+		c.sendQ.Wait(p, fmt.Sprintf("send %s", c.name))
+	}
+	if c.closed {
+		panic(fmt.Sprintf("sim: send on closed channel %s", c.name))
+	}
+	c.buf = append(c.buf, v)
+	c.recvQ.WakeOne()
+}
+
+// TrySend enqueues v without blocking; it reports whether the value was
+// accepted (false if the channel is full or closed).
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed || (c.cap > 0 && len(c.buf) >= c.cap) {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.recvQ.WakeOne()
+	return true
+}
+
+// Recv dequeues a value, blocking while the channel is empty. The second
+// result is false when the channel is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (T, bool) {
+	for len(c.buf) == 0 && !c.closed {
+		c.recvQ.Wait(p, fmt.Sprintf("recv %s", c.name))
+	}
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	c.sendQ.WakeOne()
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok is false if nothing was available.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	c.sendQ.WakeOne()
+	return v, true
+}
+
+// Close marks the channel closed and wakes all blocked processes.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.sendQ.WakeAll()
+	c.recvQ.WakeAll()
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Semaphore is a counting semaphore over virtual time.
+type Semaphore struct {
+	avail int
+	q     WaitQueue
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	return &Semaphore{avail: n, q: WaitQueue{e: e}}
+}
+
+// Acquire takes a permit, blocking until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail <= 0 {
+		s.q.Wait(p, "semaphore")
+	}
+	s.avail--
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.avail++
+	s.q.WakeOne()
+}
+
+// WaitGroup tracks completion of a set of processes over virtual time.
+type WaitGroup struct {
+	n int
+	q WaitQueue
+}
+
+// NewWaitGroup returns a wait group bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{q: WaitQueue{e: e}} }
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.q.WakeAll()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.q.Wait(p, "waitgroup")
+	}
+}

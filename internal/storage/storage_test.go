@@ -1,0 +1,323 @@
+package storage_test
+
+import (
+	"errors"
+	"testing"
+
+	"duet/internal/iosched"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+const testBlocks = 1 << 18 // 1 GiB device
+
+func newDisk(e *sim.Engine) *storage.Disk {
+	return storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), iosched.NewCFQ())
+}
+
+func TestHDDServiceTimeShape(t *testing.T) {
+	h := storage.DefaultHDD(testBlocks)
+	seq := h.ServiceTime(&storage.Request{Block: 1000, Count: 1}, 1000)
+	near := h.ServiceTime(&storage.Request{Block: 1100, Count: 1}, 1000)
+	far := h.ServiceTime(&storage.Request{Block: testBlocks - 1, Count: 1}, 0)
+	if !(seq < near && near < far) {
+		t.Errorf("want seq < near < far, got %v %v %v", seq, near, far)
+	}
+	// Sequential 4 KiB should be dominated by transfer (tens of µs).
+	if seq > 200*sim.Microsecond {
+		t.Errorf("sequential read too slow: %v", seq)
+	}
+	// Full-stroke seek should cost milliseconds.
+	if far < 2*sim.Millisecond {
+		t.Errorf("far seek too fast: %v", far)
+	}
+	// Large requests scale with count.
+	big := h.ServiceTime(&storage.Request{Block: 1000, Count: 256}, 1000)
+	if big < 256*h.PerBlock {
+		t.Errorf("256-block transfer %v < media time", big)
+	}
+}
+
+func TestHDDSequentialBandwidth(t *testing.T) {
+	// 150 MB/s target: reading 1 MiB sequentially (256 blocks) should take
+	// roughly 7 ms (allow 5-10 ms for overheads).
+	h := storage.DefaultHDD(testBlocks)
+	st := h.ServiceTime(&storage.Request{Block: 0, Count: 256}, 0)
+	if st < 5*sim.Millisecond || st > 10*sim.Millisecond {
+		t.Errorf("1 MiB sequential read = %v, want ~7ms", st)
+	}
+}
+
+func TestSSDServiceTime(t *testing.T) {
+	s := storage.DefaultSSD(testBlocks)
+	r4k := s.ServiceTime(&storage.Request{Block: 5, Count: 1}, 99999)
+	// ~160 µs → ~25 MB/s random 4 KiB, matching the Intel 510 anchor.
+	if r4k < 100*sim.Microsecond || r4k > 300*sim.Microsecond {
+		t.Errorf("4 KiB random read = %v", r4k)
+	}
+	// Position independence.
+	if s.ServiceTime(&storage.Request{Block: 5, Count: 1}, 5) != r4k {
+		t.Error("SSD should be position independent")
+	}
+	w := s.ServiceTime(&storage.Request{Block: 5, Count: 1, Write: true}, 0)
+	if w <= r4k {
+		t.Errorf("write (%v) should cost more than read (%v) on this model", w, r4k)
+	}
+}
+
+func TestDiskServicesRequests(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	var errs []error
+	e.Go("io", func(p *sim.Proc) {
+		errs = append(errs, d.Read(p, 0, 8, storage.ClassNormal, "t"))
+		errs = append(errs, d.Write(p, 100, 8, storage.ClassNormal, "t"))
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	o := st.Owner("t")
+	if o.Reads != 1 || o.Writes != 1 || o.BlocksRead != 8 || o.BlocksWritten != 8 {
+		t.Errorf("owner stats = %+v", *o)
+	}
+	if st.BusyTime <= 0 {
+		t.Error("busy time not accounted")
+	}
+	if e.Now() < st.BusyTime {
+		t.Error("busy exceeds elapsed")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	before := d.Snapshot()
+	e.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			if err := d.Read(p, int64(i*997)%testBlocks, 1, storage.ClassNormal, "w"); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			p.Sleep(time50pct(d))
+		}
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Snapshot()
+	util := storage.UtilBetween(before, after)
+	if util < 0.2 || util > 0.8 {
+		t.Errorf("util = %.2f, want mid-range", util)
+	}
+	if got := storage.UtilClassBetween(before, after, storage.ClassNormal); got != util {
+		t.Errorf("normal-class util %.3f != total %.3f (only normal I/O ran)", got, util)
+	}
+}
+
+// time50pct returns a sleep that roughly matches a random-read service
+// time, targeting ~50% utilization.
+func time50pct(d *storage.Disk) sim.Time {
+	return 3 * sim.Millisecond
+}
+
+func TestIdleClassWaitsForGrace(t *testing.T) {
+	e := sim.New(1)
+	sched := iosched.NewCFQ()
+	d := storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), sched)
+	var normDone, idleDone sim.Time
+	e.Go("normal", func(p *sim.Proc) {
+		if err := d.Read(p, 0, 1, storage.ClassNormal, "w"); err != nil {
+			t.Errorf("normal read: %v", err)
+		}
+		normDone = p.Now()
+	})
+	e.Go("idle", func(p *sim.Proc) {
+		if err := d.Read(p, 5000, 1, storage.ClassIdle, "m"); err != nil {
+			t.Errorf("idle read: %v", err)
+		}
+		idleDone = p.Now()
+	})
+	e.Go("stop", func(p *sim.Proc) { p.Sleep(sim.Second); e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idleDone <= normDone {
+		t.Errorf("idle I/O (%v) should finish after normal (%v)", idleDone, normDone)
+	}
+	if idleDone < normDone+sched.IdleGrace {
+		t.Errorf("idle I/O at %v did not wait out the grace after %v", idleDone, normDone)
+	}
+}
+
+func TestIdleRunsBackToBackWhenQuiet(t *testing.T) {
+	e := sim.New(1)
+	sched := iosched.NewCFQ()
+	d := storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), sched)
+	var stamps []sim.Time
+	e.Go("idle", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if err := d.Read(p, int64(i), 1, storage.ClassIdle, "m"); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			stamps = append(stamps, p.Now())
+		}
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the first op should pay the grace; subsequent sequential ops
+	// complete within a transfer time of each other.
+	for i := 1; i < len(stamps); i++ {
+		if gap := stamps[i] - stamps[i-1]; gap > sim.Millisecond {
+			t.Errorf("gap %d = %v; idle I/O should run back-to-back", i, gap)
+		}
+	}
+}
+
+func TestNormalPreemptsQueuedIdle(t *testing.T) {
+	e := sim.New(1)
+	sched := iosched.NewCFQ()
+	d := storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), sched)
+	order := []string{}
+	e.Go("idle", func(p *sim.Proc) {
+		// Submit idle I/O first; it must wait for the grace period.
+		if err := d.Read(p, 0, 1, storage.ClassIdle, "m"); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		order = append(order, "idle")
+	})
+	e.Go("normal", func(p *sim.Proc) {
+		p.Sleep(sched.IdleGrace / 2) // arrive inside the grace window
+		if err := d.Read(p, 100, 1, storage.ClassNormal, "w"); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		order = append(order, "normal")
+	})
+	e.Go("stop", func(p *sim.Proc) { p.Sleep(sim.Second); e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "normal" {
+		t.Errorf("order = %v, want normal first", order)
+	}
+}
+
+func TestDeadlineIgnoresClasses(t *testing.T) {
+	e := sim.New(1)
+	d := storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), iosched.NewDeadline())
+	var idleDone sim.Time
+	e.Go("idle", func(p *sim.Proc) {
+		if err := d.Read(p, 0, 1, storage.ClassIdle, "m"); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		idleDone = p.Now()
+	})
+	e.Go("stop", func(p *sim.Proc) { p.Sleep(sim.Second); e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline dispatches idle I/O immediately, without any grace period.
+	if idleDone > 10*sim.Millisecond {
+		t.Errorf("idle I/O took %v under deadline; should dispatch immediately", idleDone)
+	}
+}
+
+func TestBadBlockInjection(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	d.InjectBadBlock(42)
+	var errA, errB, errC error
+	e.Go("io", func(p *sim.Proc) {
+		errA = d.Read(p, 40, 8, storage.ClassNormal, "t") // covers 42
+		errB = d.Read(p, 50, 8, storage.ClassNormal, "t") // clean
+		errC = d.Write(p, 40, 8, storage.ClassNormal, "t")
+		d.RepairBlock(42)
+		if err := d.Read(p, 40, 8, storage.ClassNormal, "t"); err != nil {
+			t.Errorf("read after repair: %v", err)
+		}
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errA, storage.ErrBadBlock) {
+		t.Errorf("errA = %v, want ErrBadBlock", errA)
+	}
+	if errB != nil {
+		t.Errorf("errB = %v", errB)
+	}
+	if errC != nil {
+		t.Errorf("write should not fail on bad block: %v", errC)
+	}
+	if d.Stats().BadBlockHits != 1 {
+		t.Errorf("BadBlockHits = %d", d.Stats().BadBlockHits)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	var errs [3]error
+	e.Go("io", func(p *sim.Proc) {
+		errs[0] = d.Read(p, -1, 1, storage.ClassNormal, "t")
+		errs[1] = d.Read(p, testBlocks-1, 2, storage.ClassNormal, "t")
+		errs[2] = d.Read(p, 0, 0, storage.ClassNormal, "t")
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, storage.ErrOutOfRange) {
+			t.Errorf("errs[%d] = %v, want ErrOutOfRange", i, err)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if storage.ClassNormal.String() != "normal" || storage.ClassIdle.String() != "idle" {
+		t.Error("Class.String broken")
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	for _, name := range []string{"cfq", "deadline", "noop"} {
+		if iosched.ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if iosched.ByName("bogus") != nil {
+		t.Error("ByName(bogus) should be nil")
+	}
+}
+
+func TestAvgLatency(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	e.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := d.Read(p, int64(i*1000), 1, storage.ClassNormal, "t"); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Owner("t").AvgLatency(); got <= 0 {
+		t.Errorf("AvgLatency = %v", got)
+	}
+	var zero storage.OwnerStats
+	if zero.AvgLatency() != 0 {
+		t.Error("zero-stats AvgLatency should be 0")
+	}
+}

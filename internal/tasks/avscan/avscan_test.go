@@ -1,0 +1,157 @@
+package avscan
+
+import (
+	"testing"
+
+	"duet/internal/cowfs"
+	"duet/internal/machine"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+func newMachine(t *testing.T) (*machine.Machine, []*cowfs.Inode, cowfs.Ino) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Seed: 1, DeviceBlocks: 1 << 16, CachePages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Populate(machine.DefaultPopulateSpec("/data", 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := m.FS.Lookup("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, files, root.Ino
+}
+
+func run(t *testing.T, m *machine.Machine, fn func(p *sim.Proc)) {
+	t.Helper()
+	m.Eng.Go("test", func(p *sim.Proc) {
+		// Stop via defer so a t.Fatal inside fn still ends the run.
+		defer m.Eng.Stop()
+		fn(p)
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineScansEverything(t *testing.T) {
+	m, _, root := newMachine(t)
+	s := New(m.FS, root, DefaultConfig())
+	run(t, m, func(p *sim.Proc) {
+		if err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r := s.Report
+	if !r.Completed || r.WorkDone != r.WorkTotal {
+		t.Errorf("completed=%v done=%d/%d", r.Completed, r.WorkDone, r.WorkTotal)
+	}
+	if r.Saved != 0 {
+		t.Errorf("cold baseline saved = %d", r.Saved)
+	}
+	if r.ReadBlocks != r.WorkTotal {
+		t.Errorf("ReadBlocks = %d, want %d", r.ReadBlocks, r.WorkTotal)
+	}
+}
+
+func TestOpportunisticSavesWarmFiles(t *testing.T) {
+	m, files, root := newMachine(t)
+	s := NewOpportunistic(m.FS, root, DefaultConfig(), m.Duet, m.Adapter)
+	var warmed int64
+	run(t, m, func(p *sim.Proc) {
+		for i, f := range files {
+			if i%4 != 0 {
+				continue
+			}
+			if err := m.FS.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+				t.Fatal(err)
+			}
+			warmed += f.SizePg
+		}
+		if err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r := s.Report
+	if !r.Completed {
+		t.Error("not completed")
+	}
+	if r.Saved < warmed/2 {
+		t.Errorf("Saved = %d, want near %d", r.Saved, warmed)
+	}
+	if r.ReadBlocks+r.Saved != r.WorkTotal {
+		t.Errorf("reads %d + saved %d != total %d", r.ReadBlocks, r.Saved, r.WorkTotal)
+	}
+}
+
+func TestDetectsInfectedFiles(t *testing.T) {
+	m, files, root := newMachine(t)
+	s := NewOpportunistic(m.FS, root, DefaultConfig(), m.Duet, m.Adapter)
+	s.Infected = map[uint64]bool{
+		uint64(files[2].Ino): true,
+		uint64(files[7].Ino): true,
+	}
+	run(t, m, func(p *sim.Proc) {
+		// Warm one infected file so it is found opportunistically.
+		if err := m.FS.ReadFile(p, files[7].Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(s.Detections) != 2 {
+		t.Fatalf("detections = %v", s.Detections)
+	}
+	// The warm infected file must be detected first (processed out of
+	// order).
+	if s.Detections[0] != uint64(files[7].Ino) {
+		t.Errorf("first detection = %d, want warm file %d", s.Detections[0], files[7].Ino)
+	}
+}
+
+func TestScannerSurvivesDeletions(t *testing.T) {
+	m, files, root := newMachine(t)
+	s := NewOpportunistic(m.FS, root, DefaultConfig(), m.Duet, m.Adapter)
+	run(t, m, func(p *sim.Proc) {
+		// Delete files while the scan runs.
+		m.Eng.Go("churn", func(wp *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				path, err := m.FS.PathOf(files[i*3].Ino)
+				if err == nil {
+					_ = m.FS.Delete(path)
+				}
+				wp.Sleep(2 * sim.Millisecond)
+			}
+		})
+		if err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !s.Report.Completed {
+		t.Errorf("scan should complete despite deletions: %d/%d",
+			s.Report.WorkDone, s.Report.WorkTotal)
+	}
+}
+
+func TestSignatureCostConsumesTime(t *testing.T) {
+	m, _, root := newMachine(t)
+	cfg := DefaultConfig()
+	cfg.SignatureCost = sim.Millisecond // exaggerated
+	s := New(m.FS, root, cfg)
+	var elapsed sim.Time
+	run(t, m, func(p *sim.Proc) {
+		start := p.Now()
+		if err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = p.Now() - start
+	})
+	if elapsed < sim.Time(s.Report.WorkTotal)*sim.Millisecond {
+		t.Errorf("elapsed %v < signature time for %d pages", elapsed, s.Report.WorkTotal)
+	}
+}

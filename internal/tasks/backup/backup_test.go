@@ -1,0 +1,169 @@
+package backup
+
+import (
+	"testing"
+
+	"duet/internal/cowfs"
+	"duet/internal/machine"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+func newMachine(t *testing.T) (*machine.Machine, []*cowfs.Inode) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Seed: 1, DeviceBlocks: 1 << 16, CachePages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Populate(machine.DefaultPopulateSpec("/data", 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, files
+}
+
+func run(t *testing.T, m *machine.Machine, fn func(p *sim.Proc)) {
+	t.Helper()
+	m.Eng.Go("test", func(p *sim.Proc) {
+		// Stop via defer so a t.Fatal inside fn still ends the run.
+		defer m.Eng.Stop()
+		fn(p)
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineBackupCopiesSnapshot(t *testing.T) {
+	m, _ := newMachine(t)
+	var b *Backup
+	run(t, m, func(p *sim.Proc) {
+		snap, err := m.FS.CreateSnapshot(p, "/data", "/snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = New(m.FS, snap, DefaultConfig())
+		if err := b.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r := b.Report
+	if !r.Completed || r.WorkDone != r.WorkTotal {
+		t.Errorf("completed=%v done=%d/%d", r.Completed, r.WorkDone, r.WorkTotal)
+	}
+	if sink := b.Out.(*CountingSink); sink.Pages != r.WorkTotal {
+		t.Errorf("sink pages = %d, want %d", sink.Pages, r.WorkTotal)
+	}
+	if r.Saved != 0 {
+		t.Errorf("baseline saved = %d", r.Saved)
+	}
+	if r.ReadBlocks != r.WorkTotal {
+		t.Errorf("ReadBlocks = %d, want %d (cold cache)", r.ReadBlocks, r.WorkTotal)
+	}
+}
+
+func TestOpportunisticBackupUsesWorkloadReads(t *testing.T) {
+	m, files := newMachine(t)
+	var b *Backup
+	var warmed int64
+	run(t, m, func(p *sim.Proc) {
+		snap, err := m.FS.CreateSnapshot(p, "/data", "/snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = NewOpportunistic(m.FS, snap, DefaultConfig(), m.Duet, m.Adapter)
+		// The workload reads live files whose blocks are shared with the
+		// snapshot; run the backup concurrently.
+		m.Eng.Go("workload", func(wp *sim.Proc) {
+			for i, f := range files {
+				if i%3 != 0 {
+					continue
+				}
+				if err := m.FS.ReadFile(wp, f.Ino, storage.ClassNormal, "workload"); err != nil {
+					return
+				}
+				warmed += f.SizePg
+				wp.Sleep(2 * sim.Millisecond)
+			}
+		})
+		if err := b.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r := b.Report
+	if !r.Completed || r.WorkDone < r.WorkTotal {
+		t.Errorf("completed=%v done=%d/%d", r.Completed, r.WorkDone, r.WorkTotal)
+	}
+	if r.Saved == 0 {
+		t.Fatal("no savings from overlapping workload reads")
+	}
+	if r.ReadBlocks+r.Saved != r.WorkTotal {
+		t.Errorf("reads %d + saved %d != total %d", r.ReadBlocks, r.Saved, r.WorkTotal)
+	}
+	// Every block reaches the sink exactly once.
+	if sink := b.Out.(*CountingSink); sink.Pages != r.WorkTotal {
+		t.Errorf("sink pages = %d, want %d", sink.Pages, r.WorkTotal)
+	}
+}
+
+func TestBackupIgnoresModifiedBlocks(t *testing.T) {
+	m, files := newMachine(t)
+	var b *Backup
+	run(t, m, func(p *sim.Proc) {
+		snap, err := m.FS.CreateSnapshot(p, "/data", "/snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = NewOpportunistic(m.FS, snap, DefaultConfig(), m.Duet, m.Adapter)
+		// Overwrite a file: its new blocks are NOT shared with the
+		// snapshot, so the write events must not produce savings; the
+		// snapshot's original data is still backed up in full.
+		f := files[0]
+		if err := m.FS.Write(p, f.Ino, 0, f.SizePg); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r := b.Report
+	if !r.Completed || r.WorkDone < r.WorkTotal {
+		t.Errorf("completed=%v done=%d/%d", r.Completed, r.WorkDone, r.WorkTotal)
+	}
+	if r.Saved != 0 {
+		t.Errorf("saved = %d; COW-broken blocks must not count", r.Saved)
+	}
+}
+
+func TestBackupSavedBlocksMatchSnapshotContent(t *testing.T) {
+	// A recording sink verifies each page is sent exactly once.
+	m, files := newMachine(t)
+	rec := &recordingSink{seen: map[uint64]int{}}
+	run(t, m, func(p *sim.Proc) {
+		snap, err := m.FS.CreateSnapshot(p, "/data", "/snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewOpportunistic(m.FS, snap, DefaultConfig(), m.Duet, m.Adapter)
+		b.Out = rec
+		if err := m.FS.ReadFile(p, files[1].Ino, storage.ClassNormal, "workload"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if rec.total != b.Report.WorkTotal {
+			t.Errorf("sink total = %d, want %d", rec.total, b.Report.WorkTotal)
+		}
+	})
+}
+
+type recordingSink struct {
+	seen  map[uint64]int
+	total int64
+}
+
+func (r *recordingSink) Send(ino uint64, pages int) {
+	r.seen[ino] += pages
+	r.total += int64(pages)
+}

@@ -1,0 +1,135 @@
+// Package gcduet wires Duet into the F2fs-style garbage collector (§5.4).
+//
+// The opportunistic collector registers a block task for Exists ∨ Flushed
+// notifications and maintains a per-segment count of cached valid blocks.
+// Its victim cost function becomes valid − cached/2: cached blocks save
+// the read half of the move, and reads and writes are weighed equally, as
+// the paper does. Flushed notifications relocate a block to a new
+// segment, so the counters of both the old and the new segment are
+// adjusted. The done primitives are not used — a segment can always
+// become dirty again, so the notion of completed work does not apply.
+package gcduet
+
+import (
+	"fmt"
+
+	"duet/internal/core"
+	"duet/internal/lfs"
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+)
+
+// Owner labels the opportunistic collector's I/O.
+const Owner = "gc"
+
+// Tracker maintains the Duet-derived per-segment cache-residency counts.
+type Tracker struct {
+	fs      *lfs.FS
+	session *core.Session
+	// cachedBySeg[s] counts valid blocks of segment s believed cached.
+	cachedBySeg []int
+	// lastSeg remembers which segment each page was last counted under,
+	// so Flushed relocations move the count between segments.
+	lastSeg map[pageID]int
+	fetch   []core.Item
+	eng     *sim.Engine
+	// EventsApplied counts processed notifications.
+	EventsApplied int64
+}
+
+type pageID struct {
+	ino uint64
+	idx uint64
+}
+
+// Attach registers the Duet session and returns the tracker. Close the
+// returned session via Detach.
+func Attach(e *sim.Engine, d *core.Duet, ad *core.LFSAdapter, fs *lfs.FS) (*Tracker, error) {
+	sess, err := d.RegisterBlock(ad, core.StExists|core.EvtFlushed)
+	if err != nil {
+		return nil, fmt.Errorf("gcduet: %w", err)
+	}
+	return &Tracker{
+		fs:          fs,
+		session:     sess,
+		cachedBySeg: make([]int, fs.Segments()),
+		lastSeg:     make(map[pageID]int),
+		fetch:       make([]core.Item, 512),
+		eng:         e,
+	}, nil
+}
+
+// Detach closes the Duet session.
+func (t *Tracker) Detach() error { return t.session.Close() }
+
+// CachedBySeg returns the tracked count for a segment.
+func (t *Tracker) CachedBySeg(si int) int { return t.cachedBySeg[si] }
+
+// harvest drains pending notifications. The cost function calls it per
+// candidate; an empty fetch is O(1), so that is cheap.
+func (t *Tracker) harvest() {
+	for {
+		n := t.session.FetchInto(t.fetch)
+		if n == 0 {
+			return
+		}
+		for _, it := range t.fetch[:n] {
+			t.EventsApplied++
+			id := pageID{it.PageIno, it.PageIdx}
+			seg := t.fs.SegOf(int64(it.ID))
+			if old, counted := t.lastSeg[id]; counted && old != seg {
+				// Flushed to a new segment: adjust both (§5.4).
+				t.cachedBySeg[old]--
+				delete(t.lastSeg, id)
+			}
+			// An item carries the Exists bit only when existence changed;
+			// a pure Flushed event means the page is (usually) still
+			// cached. The collector runs in the kernel, so it confirms
+			// against the page cache, as the real F2fs code would.
+			exists := it.Flags.Has(core.StExists)
+			if !exists && it.Flags.Has(core.EvtFlushed) {
+				exists = t.fs.Cache().Contains(pagecache.PageKey{
+					FS: t.fs.ID(), Ino: it.PageIno, Index: it.PageIdx,
+				})
+			}
+			if exists {
+				if _, counted := t.lastSeg[id]; !counted {
+					t.lastSeg[id] = seg
+					t.cachedBySeg[seg]++
+				}
+			} else {
+				if old, counted := t.lastSeg[id]; counted {
+					t.cachedBySeg[old]--
+					delete(t.lastSeg, id)
+				}
+			}
+		}
+	}
+}
+
+// Cost is the opportunistic victim cost: valid − cached/2, excluding
+// nothing (a negative value would exclude; cached can only reduce cost).
+func (t *Tracker) Cost(fs *lfs.FS, segIdx int) float64 {
+	t.harvest()
+	seg := fs.Segment(segIdx)
+	cached := t.cachedBySeg[segIdx]
+	if cached > seg.Valid {
+		cached = seg.Valid // counters are hints; clamp to the truth
+	}
+	c := float64(seg.Valid) - float64(cached)/2
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// StartGC launches the lfs cleaner with the opportunistic cost function.
+func StartGC(e *sim.Engine, d *core.Duet, ad *core.LFSAdapter, fs *lfs.FS, cfg lfs.GCConfig) (*lfs.GC, *Tracker, error) {
+	tr, err := Attach(e, d, ad, fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Cost = tr.Cost
+	cfg.Owner = Owner
+	return fs.StartGC(cfg), tr, nil
+}

@@ -1,0 +1,189 @@
+package rsync
+
+import (
+	"testing"
+
+	"duet/internal/cowfs"
+	"duet/internal/machine"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+func newMachines(t *testing.T) (*machine.Machine, *cowfs.FS, []*cowfs.Inode, cowfs.Ino) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Seed: 1, DeviceBlocks: 1 << 16, CachePages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Populate(machine.DefaultPopulateSpec("/data", 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _, err := m.AddCowFS("sdb", 1<<16, machine.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.MkdirAll("/backup"); err != nil {
+		t.Fatal(err)
+	}
+	root, err := m.FS.Lookup("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dst, files, root.Ino
+}
+
+func run(t *testing.T, m *machine.Machine, fn func(p *sim.Proc)) {
+	t.Helper()
+	m.Eng.Go("test", func(p *sim.Proc) {
+		// Stop via defer so a t.Fatal inside fn still ends the run.
+		defer m.Eng.Stop()
+		fn(p)
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func verifyCopy(t *testing.T, m *machine.Machine, dst *cowfs.FS, files []*cowfs.Inode, root cowfs.Ino) {
+	t.Helper()
+	for _, f := range files {
+		rel, ok := m.FS.Within(f.Ino, root)
+		if !ok {
+			t.Fatalf("source file %d escaped", f.Ino)
+		}
+		df, err := dst.Lookup("/backup/" + rel)
+		if err != nil {
+			t.Fatalf("missing %s: %v", rel, err)
+		}
+		if df.SizePg != f.SizePg {
+			t.Errorf("%s: size %d != %d", rel, df.SizePg, f.SizePg)
+		}
+	}
+}
+
+func TestBaselineFullCopy(t *testing.T) {
+	m, dst, files, root := newMachines(t)
+	r := New(m.FS, root, dst, "/backup", DefaultConfig())
+	run(t, m, func(p *sim.Proc) {
+		if err := r.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		dst.Sync(p)
+	})
+	if !r.Report.Completed {
+		t.Error("not completed")
+	}
+	if int(r.FilesSent) != len(files) {
+		t.Errorf("FilesSent = %d, want %d", r.FilesSent, len(files))
+	}
+	verifyCopy(t, m, dst, files, root)
+	if r.Report.Saved != 0 {
+		t.Errorf("cold baseline saved = %d", r.Report.Saved)
+	}
+	// Destination received every page.
+	if w := dst.Stats().WritesPages; w != r.Report.WorkTotal {
+		t.Errorf("dst writes = %d, want %d", w, r.Report.WorkTotal)
+	}
+}
+
+func TestOpportunisticSavesWarmReads(t *testing.T) {
+	m, dst, files, root := newMachines(t)
+	r := NewOpportunistic(m.FS, root, dst, "/backup", DefaultConfig(), m.Duet, m.Adapter)
+	var warmed int64
+	run(t, m, func(p *sim.Proc) {
+		for i, f := range files {
+			if i%5 != 0 {
+				continue
+			}
+			if err := m.FS.ReadFile(p, f.Ino, storage.ClassNormal, "workload"); err != nil {
+				t.Fatal(err)
+			}
+			warmed += f.SizePg
+		}
+		if err := r.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		dst.Sync(p)
+	})
+	if !r.Report.Completed || int(r.FilesSent) != len(files) {
+		t.Fatalf("completed=%v sent=%d/%d", r.Report.Completed, r.FilesSent, len(files))
+	}
+	verifyCopy(t, m, dst, files, root)
+	if r.Report.Saved < warmed/2 {
+		t.Errorf("Saved = %d, want near %d", r.Report.Saved, warmed)
+	}
+	if r.Report.ReadBlocks+r.Report.Saved != r.Report.WorkTotal {
+		t.Errorf("reads %d + saved %d != total %d", r.Report.ReadBlocks, r.Report.Saved, r.Report.WorkTotal)
+	}
+}
+
+func TestOpportunisticSendsEachFileOnce(t *testing.T) {
+	m, dst, files, root := newMachines(t)
+	r := NewOpportunistic(m.FS, root, dst, "/backup", DefaultConfig(), m.Duet, m.Adapter)
+	run(t, m, func(p *sim.Proc) {
+		// Concurrent reader keeps generating events for already-queued
+		// files during the transfer.
+		m.Eng.Go("workload", func(wp *sim.Proc) {
+			rng := wp.Rand()
+			for i := 0; i < 100; i++ {
+				f := files[rng.Intn(len(files))]
+				if err := m.FS.ReadFile(wp, f.Ino, storage.ClassNormal, "workload"); err != nil {
+					return
+				}
+				wp.Sleep(3 * sim.Millisecond)
+			}
+		})
+		if err := r.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		dst.Sync(p)
+	})
+	if int(r.FilesSent) != len(files) {
+		t.Errorf("FilesSent = %d, want exactly %d (metadata sent once)", r.FilesSent, len(files))
+	}
+	verifyCopy(t, m, dst, files, root)
+}
+
+func TestOpportunisticOutsavesBaselineWithWorkload(t *testing.T) {
+	// With a read workload on the source, the Duet rsync grabs files
+	// while they are cached and must save more I/O than the incidental
+	// cache hits the baseline gets, without materially slowing down (the
+	// Figure 4 mechanism; the full speedup curve is an experiment, not a
+	// unit test).
+	elapsed := func(duet bool) (sim.Time, int64) {
+		m, dst, files, root := newMachines(t)
+		var r *Rsync
+		if duet {
+			r = NewOpportunistic(m.FS, root, dst, "/backup", DefaultConfig(), m.Duet, m.Adapter)
+		} else {
+			r = New(m.FS, root, dst, "/backup", DefaultConfig())
+		}
+		run(t, m, func(p *sim.Proc) {
+			m.Eng.Go("workload", func(wp *sim.Proc) {
+				rng := wp.Rand()
+				for {
+					f := files[rng.Intn(len(files))]
+					if err := m.FS.ReadFile(wp, f.Ino, storage.ClassNormal, "workload"); err != nil {
+						return
+					}
+					wp.Sleep(time5ms())
+				}
+			})
+			if err := r.Run(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return r.Report.Duration(), r.Report.Saved
+	}
+	base, savedBase := elapsed(false)
+	duet, savedDuet := elapsed(true)
+	if savedDuet <= savedBase {
+		t.Errorf("duet saved %d <= baseline incidental %d", savedDuet, savedBase)
+	}
+	if duet > base+base/5 {
+		t.Errorf("duet rsync much slower: %v vs %v", duet, base)
+	}
+}
+
+func time5ms() sim.Time { return 5 * sim.Millisecond }

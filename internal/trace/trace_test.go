@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	u := Uniform{}
+	if u.Name() != "uniform" {
+		t.Errorf("Name = %q", u.Name())
+	}
+	if got := u.AccessShare(100, 0.3); got != 0.3 {
+		t.Errorf("AccessShare = %v", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[u.Pick(rng, 10)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d = %d, want ~1000", i, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := &Zipf{S: 1.25, Label: "test"}
+	if z.Name() != "test" {
+		t.Errorf("Name = %q", z.Name())
+	}
+	// Top 10% of files must capture far more than 10% of accesses.
+	share := z.AccessShare(1000, 0.1)
+	if share < 0.5 {
+		t.Errorf("top-10%% share = %v, want skewed (> 0.5)", share)
+	}
+	// Monotone CDF.
+	prev := 0.0
+	for f := 0.1; f <= 1.0; f += 0.1 {
+		s := z.AccessShare(1000, f)
+		if s < prev {
+			t.Errorf("CDF not monotone at %v: %v < %v", f, s, prev)
+		}
+		prev = s
+	}
+	if got := z.AccessShare(1000, 1.0); got < 0.999 {
+		t.Errorf("full share = %v", got)
+	}
+	// Sampling matches the skew: rank 0 should be the most frequent.
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Pick(rng, 100)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d) not hotter than rank 50 (%d)", counts[0], counts[50])
+	}
+}
+
+func TestZipfCacheRebuild(t *testing.T) {
+	z := &Zipf{S: 1.0}
+	rng := rand.New(rand.NewSource(3))
+	// Switching n must not panic or go out of range.
+	for _, n := range []int{10, 1000, 10} {
+		i := z.Pick(rng, n)
+		if i < 0 || i >= n {
+			t.Fatalf("Pick out of range: %d of %d", i, n)
+		}
+	}
+}
+
+func TestMSDevicesOrdering(t *testing.T) {
+	devs := MSDevices()
+	if len(devs) != 3 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	// Listed most-skewed first: top-10% share strictly decreasing.
+	prev := 2.0
+	for _, d := range devs {
+		s := d.AccessShare(1000, 0.1)
+		if s >= prev {
+			t.Errorf("%s share %v not less than previous %v", d.Name(), s, prev)
+		}
+		if s <= 0.1 {
+			t.Errorf("%s not skewed: %v", d.Name(), s)
+		}
+		prev = s
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("uniform") == nil || ByName("") == nil {
+		t.Error("uniform lookup failed")
+	}
+	if ByName("ms-dev1") == nil {
+		t.Error("ms-dev1 lookup failed")
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name should return nil")
+	}
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"duet/internal/cowfs"
+	"duet/internal/lfs"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Target abstracts the filesystem operations the personalities need, so
+// the same generator drives both the COW filesystem and the
+// log-structured one (the Table 6 experiment runs fileserver on lfs).
+// Indices address the covered file subset.
+type Target interface {
+	// Len is the size of the covered population.
+	Len() int
+	// ReadWhole reads file i completely.
+	ReadWhole(p *sim.Proc, i int) error
+	// Overwrite rewrites file i in place (whole file).
+	Overwrite(p *sim.Proc, i int) error
+	// Append grows file i by n pages (implementations may bound growth
+	// by overwriting instead).
+	Append(p *sim.Proc, i int, n int64) error
+	// Recreate deletes file i and creates a fresh same-size replacement.
+	Recreate(p *sim.Proc, i int) error
+	// AppendLog appends n pages to the single log file (webserver).
+	AppendLog(p *sim.Proc, n int64) error
+}
+
+// maxGrowPages bounds append-driven file growth so long runs do not
+// exhaust the device.
+const maxGrowPages = 512
+
+// logRotatePages bounds the webserver log.
+const logRotatePages = 4096
+
+// CowTarget drives a cowfs filesystem.
+type CowTarget struct {
+	fs      *cowfs.FS
+	files   []*cowfs.Inode
+	logFile *cowfs.Inode
+	dir     string
+	name    string
+	nextNew int
+}
+
+// NewCowTarget builds a target over the covered subset of files.
+func NewCowTarget(fs *cowfs.FS, covered []*cowfs.Inode, dir, name string) *CowTarget {
+	return &CowTarget{fs: fs, files: covered, dir: dir, name: name}
+}
+
+// Files exposes the covered subset.
+func (t *CowTarget) Files() []*cowfs.Inode { return t.files }
+
+// Len implements Target.
+func (t *CowTarget) Len() int { return len(t.files) }
+
+// ReadWhole implements Target.
+func (t *CowTarget) ReadWhole(p *sim.Proc, i int) error {
+	return t.fs.ReadFile(p, t.files[i].Ino, storage.ClassNormal, Owner)
+}
+
+// Overwrite implements Target.
+func (t *CowTarget) Overwrite(p *sim.Proc, i int) error {
+	f := t.files[i]
+	n := f.SizePg
+	if n == 0 {
+		n = 1
+	}
+	return t.fs.Write(p, f.Ino, 0, n)
+}
+
+// Append implements Target.
+func (t *CowTarget) Append(p *sim.Proc, i int, n int64) error {
+	f := t.files[i]
+	if f.SizePg > maxGrowPages {
+		return t.Overwrite(p, i)
+	}
+	return t.fs.Append(p, f.Ino, n)
+}
+
+// Recreate implements Target.
+func (t *CowTarget) Recreate(p *sim.Proc, i int) error {
+	f := t.files[i]
+	size := f.SizePg
+	if size == 0 {
+		size = 1
+	}
+	path, err := t.fs.PathOf(f.Ino)
+	if err != nil {
+		return err
+	}
+	if err := t.fs.Delete(path); err != nil {
+		return err
+	}
+	nf, err := t.fs.Create(fmt.Sprintf("%s.r%d", path, t.nextNew))
+	t.nextNew++
+	if err != nil {
+		return err
+	}
+	t.files[i] = nf
+	return t.fs.Write(p, nf.Ino, 0, size)
+}
+
+// AppendLog implements Target.
+func (t *CowTarget) AppendLog(p *sim.Proc, n int64) error {
+	if t.logFile == nil || t.logFile.SizePg > logRotatePages {
+		if t.logFile != nil {
+			path, err := t.fs.PathOf(t.logFile.Ino)
+			if err == nil {
+				if err := t.fs.Delete(path); err != nil {
+					return err
+				}
+			}
+		}
+		lf, err := t.fs.Create(fmt.Sprintf("%s/weblog-%s-%d", t.dir, t.name, t.nextNew))
+		t.nextNew++
+		if err != nil {
+			return err
+		}
+		t.logFile = lf
+	}
+	return t.fs.Append(p, t.logFile.Ino, n)
+}
+
+// LFSTarget drives an lfs filesystem (flat namespace).
+type LFSTarget struct {
+	fs      *lfs.FS
+	files   []*lfs.Inode
+	logFile *lfs.Inode
+	name    string
+	nextNew int
+}
+
+// NewLFSTarget builds a target over the covered subset.
+func NewLFSTarget(fs *lfs.FS, covered []*lfs.Inode, name string) *LFSTarget {
+	return &LFSTarget{fs: fs, files: covered, name: name}
+}
+
+// Len implements Target.
+func (t *LFSTarget) Len() int { return len(t.files) }
+
+// ReadWhole implements Target.
+func (t *LFSTarget) ReadWhole(p *sim.Proc, i int) error {
+	return t.fs.ReadFile(p, t.files[i].Ino, storage.ClassNormal, Owner)
+}
+
+// Overwrite implements Target.
+func (t *LFSTarget) Overwrite(p *sim.Proc, i int) error {
+	f := t.files[i]
+	n := f.SizePg
+	if n == 0 {
+		n = 1
+	}
+	return t.fs.Write(p, f.Ino, 0, n)
+}
+
+// Append implements Target.
+func (t *LFSTarget) Append(p *sim.Proc, i int, n int64) error {
+	f := t.files[i]
+	if f.SizePg > maxGrowPages {
+		return t.Overwrite(p, i)
+	}
+	return t.fs.Append(p, f.Ino, n)
+}
+
+// Recreate implements Target.
+func (t *LFSTarget) Recreate(p *sim.Proc, i int) error {
+	f := t.files[i]
+	size := f.SizePg
+	if size == 0 {
+		size = 1
+	}
+	if err := t.fs.Delete(f.Name); err != nil {
+		return err
+	}
+	nf, err := t.fs.Create(fmt.Sprintf("%s.r%d", f.Name, t.nextNew))
+	t.nextNew++
+	if err != nil {
+		return err
+	}
+	t.files[i] = nf
+	return t.fs.Write(p, nf.Ino, 0, size)
+}
+
+// AppendLog implements Target.
+func (t *LFSTarget) AppendLog(p *sim.Proc, n int64) error {
+	if t.logFile == nil || t.logFile.SizePg > logRotatePages {
+		lf, err := t.fs.Create(fmt.Sprintf("weblog-%s-%d", t.name, t.nextNew))
+		t.nextNew++
+		if err != nil {
+			return err
+		}
+		t.logFile = lf
+	}
+	return t.fs.Append(p, t.logFile.Ino, n)
+}
+
+// CoverLFS picks a deterministic covered subset of lfs files.
+func CoverLFS(rng *rand.Rand, files []*lfs.Inode, coverage float64) []*lfs.Inode {
+	if coverage <= 0 || coverage > 1 {
+		coverage = 1
+	}
+	idx := rng.Perm(len(files))
+	k := int(coverage * float64(len(files)))
+	if k < 1 {
+		k = 1
+	}
+	out := make([]*lfs.Inode, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, files[i])
+	}
+	return out
+}

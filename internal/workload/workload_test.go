@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"testing"
+
+	"duet/internal/cowfs"
+	"duet/internal/machine"
+	"duet/internal/sim"
+	"duet/internal/storage"
+	"duet/internal/trace"
+)
+
+func newMachine(t *testing.T) (*machine.Machine, []*cowfs.Inode) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Seed: 1, DeviceBlocks: 1 << 16, CachePages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Populate(machine.DefaultPopulateSpec("/data", 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, files
+}
+
+func runFor(t *testing.T, m *machine.Machine, d sim.Time, g *Generator) {
+	t.Helper()
+	g.Start(m.Eng)
+	if err := m.Eng.RunFor(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebserverMix(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{Personality: Webserver, Dir: "/data", OpsPerSec: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, m, 20*sim.Second, g)
+	s := g.Stats()
+	if s.Ops < 1000 {
+		t.Fatalf("ops = %d, throttled too hard", s.Ops)
+	}
+	ratio := float64(s.Reads) / float64(s.Writes)
+	if ratio < 7 || ratio > 14 {
+		t.Errorf("read:write = %.1f, want ~10", ratio)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d", s.Errors)
+	}
+	if s.MeanLatency() <= 0 {
+		t.Error("no latency recorded")
+	}
+	// All writes append to the single log: no covered file grew.
+	if s.Deletes != 0 && s.Creates != s.Deletes {
+		t.Errorf("deletes=%d creates=%d", s.Deletes, s.Creates)
+	}
+}
+
+func TestWebproxyMix(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{Personality: Webproxy, Dir: "/data", OpsPerSec: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, m, 20*sim.Second, g)
+	s := g.Stats()
+	ratio := float64(s.Reads) / float64(s.Writes)
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("read:write = %.1f, want ~4", ratio)
+	}
+	if s.Deletes == 0 || s.Creates == 0 {
+		t.Error("webproxy should churn files")
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d", s.Errors)
+	}
+}
+
+func TestFileserverMix(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{Personality: Fileserver, Dir: "/data", OpsPerSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, m, 20*sim.Second, g)
+	s := g.Stats()
+	ratio := float64(s.Reads) / float64(s.Writes)
+	if ratio < 0.25 || ratio > 1.0 {
+		t.Errorf("read:write = %.1f, want ~0.5", ratio)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d", s.Errors)
+	}
+}
+
+func TestCoverageRestrictsAccesses(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{
+		Personality: Webserver, Dir: "/data", Coverage: 0.25, OpsPerSec: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[uint64]bool{}
+	for _, f := range g.CoveredFiles() {
+		covered[uint64(f.Ino)] = true
+	}
+	wantK := len(files) / 4
+	if len(covered) != wantK {
+		t.Fatalf("covered = %d, want %d", len(covered), wantK)
+	}
+	runFor(t, m, 30*sim.Second, g)
+	// Only covered files (plus the log) may have cached pages.
+	for _, f := range files {
+		if covered[uint64(f.Ino)] {
+			continue
+		}
+		if m.Cache.FilePages(m.FS.ID(), uint64(f.Ino)) != 0 {
+			t.Fatalf("uncovered file %d was accessed", f.Ino)
+		}
+	}
+}
+
+func TestSkewedDistributionConcentrates(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{
+		Personality: Webserver, Dir: "/data",
+		Dist: trace.ByName("ms-dev0"), OpsPerSec: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, m, 30*sim.Second, g)
+	// The hottest covered file must have far more cache presence than the
+	// median: check that a small fraction of files hold most cached pages.
+	type fp struct {
+		pages int
+	}
+	var total, top int
+	var counts []int
+	for _, f := range g.CoveredFiles() {
+		n := m.Cache.FilePages(m.FS.ID(), uint64(f.Ino))
+		counts = append(counts, n)
+		total += n
+	}
+	// Sort descending; top 10% of files.
+	for i := 0; i < len(counts); i++ {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[i] {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	k := len(counts) / 10
+	for i := 0; i < k; i++ {
+		top += counts[i]
+	}
+	if total == 0 {
+		t.Fatal("nothing cached")
+	}
+	if float64(top)/float64(total) < 0.3 {
+		t.Errorf("top 10%% of files hold %.2f of cached pages; want skew", float64(top)/float64(total))
+	}
+}
+
+func TestUnthrottledSaturatesDevice(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{Personality: Webserver, Dir: "/data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Disk.Snapshot()
+	runFor(t, m, 10*sim.Second, g)
+	util := storage.UtilBetween(before, m.Disk.Snapshot())
+	if util < 0.8 {
+		t.Errorf("unthrottled util = %.2f, want ~1.0", util)
+	}
+}
+
+func TestThrottlingLowersUtilization(t *testing.T) {
+	utilAt := func(rate float64) float64 {
+		m, files := newMachine(t)
+		g, err := New(m.Eng, m.FS, files, Config{Personality: Webserver, Dir: "/data", OpsPerSec: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := m.Disk.Snapshot()
+		runFor(t, m, 20*sim.Second, g)
+		return storage.UtilBetween(before, m.Disk.Snapshot())
+	}
+	low := utilAt(20)
+	high := utilAt(150)
+	if low >= high {
+		t.Errorf("util(20 ops/s)=%.2f >= util(150 ops/s)=%.2f", low, high)
+	}
+	if low > 0.5 {
+		t.Errorf("util at 20 ops/s = %.2f, too high", low)
+	}
+}
+
+func TestStopHaltsGenerator(t *testing.T) {
+	m, files := newMachine(t)
+	g, err := New(m.Eng, m.FS, files, Config{Personality: Webserver, Dir: "/data", OpsPerSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start(m.Eng)
+	m.Eng.Go("stopper", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second)
+		g.Stop()
+		p.Sleep(5 * sim.Second)
+		opsAtStop := g.Stats().Ops
+		p.Sleep(5 * sim.Second)
+		if g.Stats().Ops > opsAtStop+1 {
+			t.Errorf("generator kept running after Stop")
+		}
+		m.Eng.Stop()
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPopulationRejected(t *testing.T) {
+	m, _ := newMachine(t)
+	if _, err := New(m.Eng, m.FS, nil, Config{Personality: Webserver, Dir: "/data"}); err == nil {
+		t.Error("want error for empty population")
+	}
+}
+
+func TestReadWriteRatio(t *testing.T) {
+	r, w := Webserver.ReadWriteRatio()
+	if r != 10 || w != 1 {
+		t.Errorf("webserver = %d:%d", r, w)
+	}
+	r, w = Fileserver.ReadWriteRatio()
+	if r != 1 || w != 2 {
+		t.Errorf("fileserver = %d:%d", r, w)
+	}
+}
