@@ -4,28 +4,59 @@
 //
 // Usage:
 //
-//	duetbench [-scale tiny|small|full] [-seeds N] [-experiment id[,id...]] [-list]
+//	duetbench [-scale tiny|small|full] [-seeds N] [-j N] [-experiment id[,id...]] [-list] [-bench-out file]
 //
 // The default small scale reproduces the paper's ratios at laptop cost
 // (see internal/experiments); -scale full approximates the paper's
 // absolute setup and takes hours.
+//
+// -j sets the worker count for the experiment grid (default: all CPUs).
+// Output is byte-identical at any -j: cells are reassembled in input
+// order and every simulation engine is fully isolated, so parallelism
+// only changes wall-clock time. Alongside the text output, a
+// machine-readable BENCH_<scale>.json records per-experiment wall-clock
+// seconds, cells run, and the worker count, so the performance
+// trajectory is trackable across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"duet/internal/experiments"
 )
 
+// benchRecord is one experiment's entry in the BENCH json.
+type benchRecord struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Cells   int64   `json:"cells"`
+}
+
+// benchFile is the machine-readable timing summary.
+type benchFile struct {
+	Scale        string        `json:"scale"`
+	Seeds        int           `json:"seeds"`
+	Workers      int           `json:"workers"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	Experiments  []benchRecord `json:"experiments"`
+	TotalSeconds float64       `json:"total_seconds"`
+	TotalCells   int64         `json:"total_cells"`
+}
+
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: tiny, small, or full")
 	seeds := flag.Int("seeds", 0, "override the number of repetitions (0 = scale default)")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "grid worker count (output is identical at any value)")
 	expFlag := flag.String("experiment", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	benchOut := flag.String("bench-out", "", "timing json path (default BENCH_<scale>.json, \"-\" to disable)")
+	quiet := flag.Bool("q", false, "suppress the progress line on stderr")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +74,10 @@ func main() {
 	if *seeds > 0 {
 		scale.Seeds = *seeds
 	}
+	experiments.Workers = *workers
+	if !*quiet {
+		experiments.Progress = os.Stderr
+	}
 
 	var ids []string
 	if *expFlag == "" {
@@ -51,6 +86,13 @@ func main() {
 		ids = strings.Split(*expFlag, ",")
 	}
 
+	bench := benchFile{
+		Scale:      scale.Name,
+		Seeds:      scale.Seeds,
+		Workers:    *workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	totalStart := time.Now()
 	for _, id := range ids {
 		e, ok := experiments.Lookup(strings.TrimSpace(id))
 		if !ok {
@@ -59,10 +101,40 @@ func main() {
 		}
 		fmt.Printf("==> %s: %s (scale %s, %d seed(s))\n", e.ID, e.Title, scale.Name, scale.Seeds)
 		start := time.Now()
+		cellsBefore := experiments.CellsRun()
 		if err := e.Run(scale, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "duetbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		bench.Experiments = append(bench.Experiments, benchRecord{
+			ID:      e.ID,
+			Seconds: elapsed.Seconds(),
+			Cells:   experiments.CellsRun() - cellsBefore,
+		})
+		// Timing goes to stderr (and the BENCH json): stdout must be
+		// byte-identical across runs and worker counts.
+		fmt.Fprintf(os.Stderr, "duetbench: %s done in %s\n", e.ID, elapsed.Round(time.Millisecond))
+		fmt.Println()
+	}
+	bench.TotalSeconds = time.Since(totalStart).Seconds()
+	bench.TotalCells = experiments.CellsRun()
+
+	if *benchOut != "-" {
+		path := *benchOut
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", scale.Name)
+		}
+		buf, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			buf = append(buf, '\n')
+			err = os.WriteFile(path, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duetbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "duetbench: wrote %s (%.1fs over %d cells, %d workers)\n",
+			path, bench.TotalSeconds, bench.TotalCells, bench.Workers)
 	}
 }

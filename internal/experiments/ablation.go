@@ -21,17 +21,23 @@ import (
 func runAbSched(s Scale, w io.Writer) error {
 	fmt.Fprintln(w, "# Ablation: I/O prioritization (§6.5) — scrubbing + webserver at 50% target util")
 	headers := []string{"Scheduler", "I/O saved", "Workload mean latency", "Workload ops", "Scrub done"}
-	var rows [][]string
-	for _, sched := range []string{"cfq", "deadline"} {
-		out, err := runTasks(RunSpec{
+	scheds := []string{"cfq", "deadline"}
+	var cells []RunSpec
+	for _, sched := range scheds {
+		cells = append(cells, RunSpec{
 			Env: EnvSpec{Scale: s, Seed: 1, Personality: workload.Webserver,
 				TargetUtil: 0.5, Sched: sched},
 			Tasks: []TaskName{TaskScrub},
 			Duet:  true,
 		})
-		if err != nil {
-			return err
-		}
+	}
+	results := RunGrid(cells, Workers)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, sched := range scheds {
+		out := results[i].Outcome
 		rows = append(rows, []string{
 			sched,
 			fmt.Sprintf("%.3f", out.IOSaved()),

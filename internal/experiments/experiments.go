@@ -15,6 +15,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"duet/internal/cowfs"
 	"duet/internal/machine"
@@ -223,7 +224,51 @@ type calKey struct {
 	decile      int
 }
 
-var calCache = map[calKey]float64{}
+// The calibration cache is the only state shared between grid cells, so
+// it is guarded for RunGrid's worker pool. In-flight calibrations are
+// deduplicated: concurrent cells that need the same key wait for the
+// first one instead of bisecting redundantly. Calibration is seeded with
+// the fixed calSeed, so results are identical no matter which worker
+// computes them.
+var (
+	calMu       sync.Mutex
+	calCache    = map[calKey]float64{}
+	calInflight = map[calKey]*calCall{}
+)
+
+type calCall struct {
+	done chan struct{}
+	rate float64
+	err  error
+}
+
+// calLookup resolves a calibration through the cache, deduplicating
+// concurrent computations of the same key.
+func calLookup(key calKey, compute func() (float64, error)) (float64, error) {
+	calMu.Lock()
+	if r, ok := calCache[key]; ok {
+		calMu.Unlock()
+		return r, nil
+	}
+	if c, ok := calInflight[key]; ok {
+		calMu.Unlock()
+		<-c.done
+		return c.rate, c.err
+	}
+	c := &calCall{done: make(chan struct{})}
+	calInflight[key] = c
+	calMu.Unlock()
+
+	c.rate, c.err = compute()
+	calMu.Lock()
+	if c.err == nil {
+		calCache[key] = c.rate
+	}
+	delete(calInflight, key)
+	calMu.Unlock()
+	close(c.done)
+	return c.rate, c.err
+}
 
 const calSeed = 424242
 
@@ -268,43 +313,39 @@ func calibrateRate(spec EnvSpec) (float64, error) {
 		coverage: round2(spec.Coverage), device: spec.Device, sched: spec.Sched,
 		decile: int(spec.TargetUtil*100 + 0.5),
 	}
-	if r, ok := calCache[key]; ok {
-		return r, nil
-	}
-	// Find an upper bound by doubling, then bisect.
-	lo, hi := 0.0, 16.0
-	for {
-		u, err := measureUtil(spec, hi)
-		if err != nil {
-			return 0, err
+	return calLookup(key, func() (float64, error) {
+		// Find an upper bound by doubling, then bisect.
+		lo, hi := 0.0, 16.0
+		for {
+			u, err := measureUtil(spec, hi)
+			if err != nil {
+				return 0, err
+			}
+			if u >= spec.TargetUtil {
+				break
+			}
+			lo = hi
+			hi *= 2
+			if hi > 65536 {
+				// The device cannot be pushed to the target at this scale;
+				// fall back to unthrottled.
+				return 0, nil
+			}
 		}
-		if u >= spec.TargetUtil {
-			break
+		for i := 0; i < 10; i++ {
+			mid := (lo + hi) / 2
+			u, err := measureUtil(spec, mid)
+			if err != nil {
+				return 0, err
+			}
+			if u < spec.TargetUtil {
+				lo = mid
+			} else {
+				hi = mid
+			}
 		}
-		lo = hi
-		hi *= 2
-		if hi > 65536 {
-			// The device cannot be pushed to the target at this scale;
-			// fall back to unthrottled.
-			calCache[key] = 0
-			return 0, nil
-		}
-	}
-	for i := 0; i < 10; i++ {
-		mid := (lo + hi) / 2
-		u, err := measureUtil(spec, mid)
-		if err != nil {
-			return 0, err
-		}
-		if u < spec.TargetUtil {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	rate := (lo + hi) / 2
-	calCache[key] = rate
-	return rate, nil
+		return (lo + hi) / 2, nil
+	})
 }
 
 // --- task runs ---------------------------------------------------------------

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"duet/internal/lfs"
 	"duet/internal/machine"
@@ -233,13 +234,21 @@ type lfsCalKey struct {
 	decile int
 }
 
-var lfsCalCache = map[lfsCalKey]float64{}
+// Guarded like calCache so gc experiments stay safe under RunGrid-style
+// concurrency.
+var (
+	lfsCalMu    sync.Mutex
+	lfsCalCache = map[lfsCalKey]float64{}
+)
 
 // calibrateLFSRate finds the fileserver ops/sec producing the target
 // utilization on the aged lfs, measured without any cleaner running.
 func calibrateLFSRate(g gcScale, target float64) (float64, error) {
 	key := lfsCalKey{g.deviceBlocks, int(target*100 + 0.5)}
-	if r, ok := lfsCalCache[key]; ok {
+	lfsCalMu.Lock()
+	r, ok := lfsCalCache[key]
+	lfsCalMu.Unlock()
+	if ok {
 		return r, nil
 	}
 	measure := func(rate float64) (float64, error) {
@@ -290,7 +299,9 @@ func calibrateLFSRate(g gcScale, target float64) (float64, error) {
 		lo = hi
 		hi *= 2
 		if hi > 65536 {
+			lfsCalMu.Lock()
 			lfsCalCache[key] = 0
+			lfsCalMu.Unlock()
 			return 0, nil
 		}
 	}
@@ -307,7 +318,9 @@ func calibrateLFSRate(g gcScale, target float64) (float64, error) {
 		}
 	}
 	rate := (lo + hi) / 2
+	lfsCalMu.Lock()
 	lfsCalCache[key] = rate
+	lfsCalMu.Unlock()
 	return rate, nil
 }
 

@@ -13,16 +13,20 @@ import (
 // even with no foreground workload at all.
 
 // multiSweep runs a task set across utilizations, once with Duet and once
-// baseline, collecting a metric from each outcome.
+// baseline, collecting a metric from each outcome. The util × {duet,
+// baseline} × seed grid runs on the worker pool; results are consumed in
+// cell order, so the rendered series are identical at any worker count.
 func multiSweep(s Scale, taskSet []TaskName, overlap float64,
 	metric func(*Outcome) float64) (duet, base metrics.Series, err error) {
 	duet.Name = "duet"
 	base.Name = "baseline"
-	for _, util := range s.Utils() {
+	utils := s.Utils()
+	sds := seeds(s)
+	var cells []RunSpec
+	for _, util := range utils {
 		for _, isDuet := range []bool{true, false} {
-			var vals []float64
-			for _, seed := range seeds(s) {
-				out, rerr := runTasks(RunSpec{
+			for _, seed := range sds {
+				cells = append(cells, RunSpec{
 					Env: EnvSpec{
 						Scale: s, Seed: seed, Personality: workload.Webserver,
 						Coverage: overlap, TargetUtil: util, Device: machine.HDD,
@@ -30,10 +34,20 @@ func multiSweep(s Scale, taskSet []TaskName, overlap float64,
 					Tasks: taskSet,
 					Duet:  isDuet,
 				})
-				if rerr != nil {
-					return duet, base, rerr
-				}
-				vals = append(vals, metric(out))
+			}
+		}
+	}
+	results := RunGrid(cells, Workers)
+	if err := FirstErr(results); err != nil {
+		return duet, base, err
+	}
+	i := 0
+	for _, util := range utils {
+		for _, isDuet := range []bool{true, false} {
+			var vals []float64
+			for range sds {
+				vals = append(vals, metric(results[i].Outcome))
+				i++
 			}
 			mean, ci := metrics.CI95(vals)
 			pt := metrics.Point{X: util, Y: mean, CI: ci}
@@ -56,12 +70,14 @@ func ioSavedMulti(s Scale, w io.Writer, title string, taskSet []TaskName) error 
 		XLabel: "util",
 		YLabel: "fraction of combined maintenance I/O saved",
 	}
-	for _, ov := range []float64{0.25, 0.50, 0.75, 1.00} {
-		series := metrics.Series{Name: "overlap=" + metrics.Pct(ov)}
-		for _, util := range s.Utils() {
-			var vals []float64
-			for _, seed := range seeds(s) {
-				out, err := runTasks(RunSpec{
+	overlaps := []float64{0.25, 0.50, 0.75, 1.00}
+	utils := s.Utils()
+	sds := seeds(s)
+	var cells []RunSpec
+	for _, ov := range overlaps {
+		for _, util := range utils {
+			for _, seed := range sds {
+				cells = append(cells, RunSpec{
 					Env: EnvSpec{
 						Scale: s, Seed: seed, Personality: workload.Webserver,
 						Coverage: ov, TargetUtil: util,
@@ -69,10 +85,21 @@ func ioSavedMulti(s Scale, w io.Writer, title string, taskSet []TaskName) error 
 					Tasks: taskSet,
 					Duet:  true,
 				})
-				if err != nil {
-					return err
-				}
-				vals = append(vals, out.IOSaved())
+			}
+		}
+	}
+	results := RunGrid(cells, Workers)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+	i := 0
+	for _, ov := range overlaps {
+		series := metrics.Series{Name: "overlap=" + metrics.Pct(ov)}
+		for _, util := range utils {
+			var vals []float64
+			for range sds {
+				vals = append(vals, results[i].Outcome.IOSaved())
+				i++
 			}
 			mean, ci := metrics.CI95(vals)
 			series.Points = append(series.Points, metrics.Point{X: util, Y: mean, CI: ci})

@@ -39,7 +39,9 @@ func runFig1(s Scale, w io.Writer) error {
 // --- I/O-saved sweeps (Figures 2, 3, 10) ------------------------------------
 
 // ioSavedSweep runs the task set with Duet across utilizations for each
-// overlap value and returns one series per overlap.
+// overlap value and returns one series per overlap. The overlap × util ×
+// seed grid is executed on the RunGrid worker pool; results are consumed
+// in cell order so rendering is independent of the worker count.
 func ioSavedSweep(s Scale, w io.Writer, title string, taskSet []TaskName,
 	personality workload.Personality, dist string, overlaps []float64,
 	device machine.DeviceKind) error {
@@ -48,12 +50,13 @@ func ioSavedSweep(s Scale, w io.Writer, title string, taskSet []TaskName,
 		XLabel: "util",
 		YLabel: "fraction of maintenance I/O saved",
 	}
+	utils := s.Utils()
+	sds := seeds(s)
+	var cells []RunSpec
 	for _, ov := range overlaps {
-		series := metrics.Series{Name: fmt.Sprintf("overlap=%s", metrics.Pct(ov))}
-		for _, util := range s.Utils() {
-			var vals []float64
-			for _, seed := range seeds(s) {
-				out, err := runTasks(RunSpec{
+		for _, util := range utils {
+			for _, seed := range sds {
+				cells = append(cells, RunSpec{
 					Env: EnvSpec{
 						Scale: s, Seed: seed, Personality: personality,
 						Dist: dist, Coverage: ov, TargetUtil: util,
@@ -62,10 +65,21 @@ func ioSavedSweep(s Scale, w io.Writer, title string, taskSet []TaskName,
 					Tasks: taskSet,
 					Duet:  true,
 				})
-				if err != nil {
-					return err
-				}
-				vals = append(vals, out.IOSaved())
+			}
+		}
+	}
+	results := RunGrid(cells, Workers)
+	if err := FirstErr(results); err != nil {
+		return err
+	}
+	i := 0
+	for _, ov := range overlaps {
+		series := metrics.Series{Name: fmt.Sprintf("overlap=%s", metrics.Pct(ov))}
+		for _, util := range utils {
+			var vals []float64
+			for range sds {
+				vals = append(vals, results[i].Outcome.IOSaved())
+				i++
 			}
 			mean, ci := metrics.CI95(vals)
 			series.Points = append(series.Points, metrics.Point{X: util, Y: mean, CI: ci})
@@ -210,15 +224,16 @@ func tab5Rows() []tab5Row {
 
 // maxUtilization finds the highest utilization (in UtilStep steps) at
 // which the task still completes within the window, scanning from high to
-// low (Table 5's metric). Returns -1 when it fails even on an idle
-// device.
+// low (Table 5's metric). The scan stays serial (it early-exits at the
+// first passing level), but the seed repetitions at each level run as a
+// grid. Returns -1 when it fails even on an idle device.
 func maxUtilization(s Scale, row tab5Row, task TaskName, duet bool) (float64, error) {
 	utils := s.Utils()
 	for i := len(utils) - 1; i >= 0; i-- {
 		util := utils[i]
-		completedAll := true
+		var cells []RunSpec
 		for _, seed := range seeds(s) {
-			out, err := runTasks(RunSpec{
+			cells = append(cells, RunSpec{
 				Env: EnvSpec{
 					Scale: s, Seed: seed, Personality: row.personality,
 					Dist: row.dist, Coverage: row.overlap, TargetUtil: util,
@@ -226,10 +241,14 @@ func maxUtilization(s Scale, row tab5Row, task TaskName, duet bool) (float64, er
 				Tasks: []TaskName{task},
 				Duet:  duet,
 			})
-			if err != nil {
-				return 0, err
-			}
-			if !out.Completed() {
+		}
+		results := RunGrid(cells, Workers)
+		if err := FirstErr(results); err != nil {
+			return 0, err
+		}
+		completedAll := true
+		for _, r := range results {
+			if !r.Outcome.Completed() {
 				completedAll = false
 				break
 			}
@@ -244,20 +263,41 @@ func maxUtilization(s Scale, row tab5Row, task TaskName, duet bool) (float64, er
 func runTab5(s Scale, w io.Writer) error {
 	headers := []string{"Workload", "Overlap", "Distribution",
 		"Scrub base", "Scrub Duet", "Backup base", "Backup Duet", "Defrag base", "Defrag Duet"}
-	var rows [][]string
+	// Every (row, task, duet) scan is independent, so they all run
+	// concurrently; each scan additionally grids its per-seed repetitions.
+	type scan struct {
+		row  tab5Row
+		task TaskName
+		duet bool
+	}
+	var scans []scan
 	for _, row := range tab5Rows() {
-		cells := []string{string(row.personality), metrics.Pct(row.overlap), row.dist}
 		for _, task := range []TaskName{TaskScrub, TaskBackup, TaskDefrag} {
 			for _, duet := range []bool{false, true} {
-				mu, err := maxUtilization(s, row, task, duet)
-				if err != nil {
-					return err
+				scans = append(scans, scan{row, task, duet})
+			}
+		}
+	}
+	utils := make([]float64, len(scans))
+	errs := make([]error, len(scans))
+	gridEach(len(scans), Workers, func(i int) {
+		utils[i], errs[i] = maxUtilization(s, scans[i].row, scans[i].task, scans[i].duet)
+	})
+	var rows [][]string
+	i := 0
+	for _, row := range tab5Rows() {
+		cells := []string{string(row.personality), metrics.Pct(row.overlap), row.dist}
+		for range [3]struct{}{} { // tasks
+			for range [2]struct{}{} { // baseline, duet
+				if errs[i] != nil {
+					return errs[i]
 				}
-				if mu < 0 {
+				if utils[i] < 0 {
 					cells = append(cells, "never")
 				} else {
-					cells = append(cells, metrics.Pct(mu))
+					cells = append(cells, metrics.Pct(utils[i]))
 				}
+				i++
 			}
 		}
 		rows = append(rows, cells)

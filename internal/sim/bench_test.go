@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The kernel's two hot paths: the context-switch handshake (park/resume)
+// and the timer path (Sleep → heap push → pop → ready). Every simulated
+// I/O pays both, so allocs/op here multiply into every experiment.
+
+// BenchmarkSleepTimer measures the full timer round trip: one process
+// repeatedly sleeping a positive duration, so each iteration pays a heap
+// push, a quiescent pop, and the park/resume handshake.
+func BenchmarkSleepTimer(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkContextSwitch measures the pure handshake: two processes
+// alternating via Yield (Sleep(0)), which exercises the run queue without
+// the timer heap.
+func BenchmarkContextSwitch(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	for w := 0; w < 2; w++ {
+		e.Go(fmt.Sprintf("w%d", w), func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerChurn keeps a wide timer heap busy: many processes with
+// staggered periods, so pushes and pops interleave deep in the heap the
+// way a loaded machine (flusher + scheduler + workload timers) does.
+func BenchmarkTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	const procs = 64
+	e := New(1)
+	for w := 0; w < procs; w++ {
+		period := Time(w%7+1) * Microsecond
+		e.Go(fmt.Sprintf("t%d", w), func(p *Proc) {
+			for i := 0; i < b.N/procs; i++ {
+				p.Sleep(period)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWaitQueue measures the blocking-primitive path (park with a
+// static reason + FIFO wake), the pattern every Chan/Semaphore/WaitGroup
+// operation reduces to.
+func BenchmarkWaitQueue(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	q := NewWaitQueue(e)
+	e.Go("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Wait(p, "bench")
+		}
+	})
+	e.Go("waker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for q.WakeOne() {
+			}
+			p.Yield()
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,7 +19,7 @@ type Engine struct {
 	now      Time
 	seq      uint64 // tiebreaker for deterministic ordering
 	timers   timerHeap
-	runq     []*Proc
+	runq     procRing
 	yield    chan struct{}
 	cur      *Proc
 	procs    []*Proc // all procs ever created, in creation order
@@ -73,13 +72,19 @@ type procKilled struct{}
 // Proc is a simulated process. Every Proc method must be called from the
 // process's own goroutine while it is the running process.
 type Proc struct {
-	eng        *Engine
-	name       string
-	pid        int
-	wake       chan struct{}
-	done       bool
-	started    bool
+	eng     *Engine
+	name    string
+	pid     int
+	wake    chan struct{}
+	done    bool
+	started bool
+	// Wait state is kept cheap to record: reasons are static strings and
+	// sleeps store only the wake time; DumpWaiters formats on demand, so
+	// the hot park/Sleep paths never build strings.
 	waitReason string
+	sleeping   bool
+	sleepUntil Time
+	rng        *rand.Rand // memoized by Rand
 }
 
 // Engine returns the engine this process belongs to.
@@ -91,9 +96,14 @@ func (p *Proc) Now() Time { return p.eng.now }
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
 
-// Rand returns a deterministic random source scoped to this process.
+// Rand returns a deterministic random source scoped to this process. The
+// source is created on first use and reused, so repeated calls continue
+// one stream.
 func (p *Proc) Rand() *rand.Rand {
-	return p.eng.DeriveRand(fmt.Sprintf("proc:%s#%d", p.name, p.pid))
+	if p.rng == nil {
+		p.rng = p.eng.DeriveRand(fmt.Sprintf("proc:%s#%d", p.name, p.pid))
+	}
+	return p.rng
 }
 
 // Go creates a process that will run fn. It may be called before Run to
@@ -153,16 +163,19 @@ func (e *Engine) ready(p *Proc) {
 	if p.done {
 		return
 	}
-	e.runq = append(e.runq, p)
+	e.runq.push(p)
 }
 
-// park blocks the calling process until it is made runnable again.
+// park blocks the calling process until it is made runnable again. The
+// reason must be a preformatted (ideally static) string: it is recorded
+// unconditionally, so building it must not allocate on the hot path.
 func (p *Proc) park(reason string) {
 	e := p.eng
 	p.waitReason = reason
 	e.yield <- struct{}{}
 	<-p.wake
 	p.waitReason = ""
+	p.sleeping = false
 	if e.stopping {
 		panic(procKilled{})
 	}
@@ -179,8 +192,10 @@ func (p *Proc) Sleep(d Time) {
 		return
 	}
 	e.seq++
-	heap.Push(&e.timers, timer{at: e.now + d, seq: e.seq, p: p})
-	p.park(fmt.Sprintf("sleep until %s", (e.now + d).String()))
+	e.timers.push(timer{at: e.now + d, seq: e.seq, p: p})
+	p.sleeping = true
+	p.sleepUntil = e.now + d
+	p.park("")
 }
 
 // Yield gives other runnable processes a turn without advancing time.
@@ -204,19 +219,18 @@ func (e *Engine) Run() error {
 	e.running = true
 	defer func() { e.running = false }()
 	for !e.stopping {
-		if len(e.runq) == 0 {
-			if e.timers.Len() == 0 {
+		p, ok := e.runq.pop()
+		if !ok {
+			tm, ok := e.timers.pop()
+			if !ok {
 				break // quiescent: every live proc is waiting on a condition
 			}
-			tm := heap.Pop(&e.timers).(timer)
 			if tm.at > e.now {
 				e.now = tm.at
 			}
 			e.ready(tm.p)
 			continue
 		}
-		p := e.runq[0]
-		e.runq = e.runq[1:]
 		e.resume(p)
 	}
 	e.shutdown()
@@ -245,8 +259,8 @@ func (e *Engine) resume(p *Proc) {
 // shutdown unwinds every live process so no goroutines leak.
 func (e *Engine) shutdown() {
 	e.stopping = true
-	e.runq = nil
-	e.timers = nil
+	e.runq = procRing{}
+	e.timers = timerHeap{}
 	for {
 		resumed := false
 		for _, p := range e.procs {
@@ -266,7 +280,11 @@ func (e *Engine) shutdown() {
 func (e *Engine) DumpWaiters() string {
 	var b strings.Builder
 	for _, p := range e.procs {
-		if !p.done && p.waitReason != "" {
+		switch {
+		case p.done:
+		case p.sleeping:
+			fmt.Fprintf(&b, "proc %q: sleep until %s\n", p.name, p.sleepUntil)
+		case p.waitReason != "":
 			fmt.Fprintf(&b, "proc %q: %s\n", p.name, p.waitReason)
 		}
 	}
@@ -279,21 +297,112 @@ type timer struct {
 	p   *Proc
 }
 
-type timerHeap []timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t timer) before(u timer) bool {
+	if t.at != u.at {
+		return t.at < u.at
 	}
-	return h[i].seq < h[j].seq
+	return t.seq < u.seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h timerHeap) peek() (timer, bool) {
-	if len(h) == 0 {
+
+// timerHeap is a 4-ary min-heap of timer values ordered by (at, seq).
+// Storing values directly (instead of container/heap's boxed interface)
+// keeps Sleep allocation-free, and the wider fan-out halves the tree
+// depth paid by sift-down on the pop-heavy event loop.
+type timerHeap struct {
+	a []timer
+}
+
+func (h *timerHeap) Len() int { return len(h.a) }
+
+func (h *timerHeap) push(t timer) {
+	h.a = append(h.a, t)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.a[i].before(h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() (timer, bool) {
+	n := len(h.a)
+	if n == 0 {
 		return timer{}, false
 	}
-	return h[0], true
+	top := h.a[0]
+	last := h.a[n-1]
+	h.a[n-1] = timer{} // drop the Proc reference
+	h.a = h.a[:n-1]
+	n--
+	if n > 0 {
+		// Sift last down from the root, moving smaller children up into
+		// the hole until last fits.
+		i := 0
+		for {
+			min := -1
+			first := 4*i + 1
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first; c < end; c++ {
+				if min < 0 || h.a[c].before(h.a[min]) {
+					min = c
+				}
+			}
+			if min < 0 || !h.a[min].before(last) {
+				break
+			}
+			h.a[i] = h.a[min]
+			i = min
+		}
+		h.a[i] = last
+	}
+	return top, true
+}
+
+// procRing is a FIFO run queue backed by a power-of-two ring buffer, so
+// the scheduler's pop-front is O(1) without the slice-shift reallocation
+// churn of runq = runq[1:] + append.
+type procRing struct {
+	buf  []*Proc
+	head int
+	n    int
+}
+
+func (r *procRing) len() int { return r.n }
+
+func (r *procRing) push(p *Proc) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *procRing) pop() (*Proc, bool) {
+	if r.n == 0 {
+		return nil, false
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p, true
+}
+
+func (r *procRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Proc, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }

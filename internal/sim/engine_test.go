@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -422,6 +423,112 @@ func TestStopTwiceIsSafe(t *testing.T) {
 	}
 	if !e.Stopping() {
 		t.Error("engine should report stopping")
+	}
+}
+
+func TestTimerHeapOrdering(t *testing.T) {
+	// Push timers in a scrambled order and check they pop sorted by
+	// (at, seq) — the invariant the 4-ary heap must preserve.
+	var h timerHeap
+	rng := New(42).DeriveRand("heap-test")
+	type key struct {
+		at  Time
+		seq uint64
+	}
+	var want []key
+	for i := 0; i < 2000; i++ {
+		k := key{at: Time(rng.Intn(50)), seq: uint64(i)}
+		want = append(want, k)
+		h.push(timer{at: k.at, seq: k.seq})
+		// Interleave pops so the heap shrinks and regrows.
+		if rng.Intn(4) == 0 && h.Len() > 0 {
+			continue
+		}
+	}
+	var got []key
+	for {
+		tm, ok := h.pop()
+		if !ok {
+			break
+		}
+		got = append(got, key{tm.at, tm.seq})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d timers, pushed %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("heap order violated at %d: %v before %v", i, a, b)
+		}
+	}
+}
+
+func TestProcRingFIFO(t *testing.T) {
+	var r procRing
+	mk := func(i int) *Proc { return &Proc{pid: i} }
+	// Wrap the ring several times with mixed push/pop.
+	next, expect := 0, 0
+	rng := New(7).DeriveRand("ring-test")
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 {
+			r.push(mk(next))
+			next++
+		} else if p, ok := r.pop(); ok {
+			if p.pid != expect {
+				t.Fatalf("pop %d, want %d", p.pid, expect)
+			}
+			expect++
+		}
+	}
+	for {
+		p, ok := r.pop()
+		if !ok {
+			break
+		}
+		if p.pid != expect {
+			t.Fatalf("drain pop %d, want %d", p.pid, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d procs, pushed %d", expect, next)
+	}
+}
+
+func TestDumpWaitersShowsSleepers(t *testing.T) {
+	e := New(1)
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+	})
+	e.Go("checker", func(p *Proc) {
+		p.Yield() // let the sleeper park first
+		dump := e.DumpWaiters()
+		if !strings.Contains(dump, `"sleeper"`) || !strings.Contains(dump, "sleep until 5ms") {
+			t.Errorf("DumpWaiters = %q, want sleeper at 5ms", dump)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcRandMemoized(t *testing.T) {
+	e := New(3)
+	e.Go("r", func(p *Proc) {
+		a := p.Rand()
+		if p.Rand() != a {
+			t.Error("Rand() should return the same source on repeated calls")
+		}
+		// The memoized stream starts where the per-call derivation did:
+		// first value matches a fresh DeriveRand of the same key.
+		want := e.DeriveRand(fmt.Sprintf("proc:%s#%d", p.name, p.pid)).Int63()
+		if got := a.Int63(); got != want {
+			t.Errorf("first Rand value = %d, want %d", got, want)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -13,31 +13,33 @@ import "fmt"
 // processes re-check it, so spurious wakeups are harmless.
 type WaitQueue struct {
 	e       *Engine
-	waiters []*Proc
+	waiters procRing
 }
 
 // NewWaitQueue returns an empty queue bound to e.
 func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{e: e} }
 
 // Wait blocks the calling process until it is woken. The reason string is
-// surfaced by Engine.DumpWaiters for debugging stalled simulations.
+// surfaced by Engine.DumpWaiters for debugging stalled simulations; pass
+// a static (preformatted) string — it is recorded on every park.
 func (q *WaitQueue) Wait(p *Proc, reason string) {
-	q.waiters = append(q.waiters, p)
+	q.waiters.push(p)
 	p.park(reason)
 }
 
 // WakeOne makes the longest-waiting process runnable. It reports whether a
 // process was woken.
 func (q *WaitQueue) WakeOne() bool {
-	for len(q.waiters) > 0 {
-		p := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	for {
+		p, ok := q.waiters.pop()
+		if !ok {
+			return false
+		}
 		if !p.done {
 			q.e.ready(p)
 			return true
 		}
 	}
-	return false
 }
 
 // WakeAll makes every waiting process runnable.
@@ -47,7 +49,7 @@ func (q *WaitQueue) WakeAll() {
 }
 
 // Len returns the number of blocked processes.
-func (q *WaitQueue) Len() int { return len(q.waiters) }
+func (q *WaitQueue) Len() int { return q.waiters.len() }
 
 // Future is a one-shot completion carrying a value and an error. A process
 // blocks on Wait until another process calls Complete. Completing twice
@@ -98,18 +100,25 @@ type Chan[T any] struct {
 	sendQ  WaitQueue
 	recvQ  WaitQueue
 	name   string
+	// Wait reasons are preformatted here so blocking Send/Recv do not
+	// build a string per park (see Proc.park).
+	sendReason string
+	recvReason string
 }
 
 // NewChan returns a channel with the given capacity (<= 0 for unbounded).
 func NewChan[T any](e *Engine, capacity int, name string) *Chan[T] {
-	return &Chan[T]{e: e, cap: capacity, sendQ: WaitQueue{e: e}, recvQ: WaitQueue{e: e}, name: name}
+	return &Chan[T]{
+		e: e, cap: capacity, sendQ: WaitQueue{e: e}, recvQ: WaitQueue{e: e}, name: name,
+		sendReason: "send " + name, recvReason: "recv " + name,
+	}
 }
 
 // Send enqueues v, blocking while the channel is full. Sending on a closed
 // channel panics, mirroring native channel semantics.
 func (c *Chan[T]) Send(p *Proc, v T) {
 	for c.cap > 0 && len(c.buf) >= c.cap && !c.closed {
-		c.sendQ.Wait(p, fmt.Sprintf("send %s", c.name))
+		c.sendQ.Wait(p, c.sendReason)
 	}
 	if c.closed {
 		panic(fmt.Sprintf("sim: send on closed channel %s", c.name))
@@ -133,7 +142,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 // result is false when the channel is closed and drained.
 func (c *Chan[T]) Recv(p *Proc) (T, bool) {
 	for len(c.buf) == 0 && !c.closed {
-		c.recvQ.Wait(p, fmt.Sprintf("recv %s", c.name))
+		c.recvQ.Wait(p, c.recvReason)
 	}
 	if len(c.buf) == 0 {
 		var zero T
