@@ -5,6 +5,7 @@
 // Usage:
 //
 //	duetbench [-scale tiny|small|full] [-seeds N] [-j N] [-experiment id[,id...]] [-list] [-bench-out file]
+//	          [-cpuprofile file] [-memprofile file]
 //
 // The default small scale reproduces the paper's ratios at laptop cost
 // (see internal/experiments); -scale full approximates the paper's
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -57,6 +59,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	benchOut := flag.String("bench-out", "", "timing json path (default BENCH_<scale>.json, \"-\" to disable)")
 	quiet := flag.Bool("q", false, "suppress the progress line on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +81,35 @@ func main() {
 	experiments.Workers = *workers
 	if !*quiet {
 		experiments.Progress = os.Stderr
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duetbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "duetbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "duetbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "duetbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	var ids []string

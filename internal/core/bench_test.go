@@ -98,3 +98,143 @@ func BenchmarkSetDoneCheckDone(b *testing.B) {
 		env.sess.UnsetDone(id)
 	}
 }
+
+// newMultiEnv registers n block-task sessions (0 is the baseline: hook
+// attached, nobody listening — the configuration every non-Duet
+// experiment run pays for).
+func newMultiEnv(b *testing.B, n int, mask Mask) (*benchEnv, []*Session) {
+	b.Helper()
+	env := newBenchEnv(b, mask)
+	sessions := []*Session{env.sess}
+	if n == 0 {
+		env.sess.Close()
+		sessions = nil
+	}
+	for len(sessions) < n {
+		sess, err := env.d.RegisterBlock(AttachCow(env.d, env.fs), mask)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+	}
+	return env, sessions
+}
+
+// benchCacheEmit cycles one page through insert+remove via the cache, so
+// events travel the full emit path including the interest-mask check.
+func benchCacheEmit(b *testing.B, nSessions int) {
+	env, sessions := newMultiEnv(b, nSessions, EventBits)
+	key := pagecache.PageKey{FS: 1, Ino: 1 << 30, Index: 0}
+	buf := make([]Item, 256)
+	env.e.Go("bench", func(p *sim.Proc) {
+		defer env.e.Stop()
+		for i := 0; i < 256; i++ {
+			env.c.Insert(p, key, 1)
+			env.c.Remove(key)
+		}
+		drain := func() {
+			for _, s := range sessions {
+				for s.FetchInto(buf) == len(buf) {
+				}
+			}
+		}
+		drain()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			env.c.Insert(p, key, 1)
+			env.c.Remove(key)
+			if i%128 == 127 {
+				drain()
+			}
+		}
+		b.StopTimer()
+	})
+	if err := env.e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCacheEmit0Sessions(b *testing.B) { benchCacheEmit(b, 0) }
+func BenchmarkCacheEmit1Session(b *testing.B)  { benchCacheEmit(b, 1) }
+func BenchmarkCacheEmit4Sessions(b *testing.B) { benchCacheEmit(b, 4) }
+
+// TestEmitZeroSessionsAllocFree pins the baseline contract: with Duet
+// attached but no session registered, a page's insert/remove round trip
+// through the cache performs zero allocations and never reaches the
+// hook's fan-out (the interest mask filters the dispatch).
+func TestEmitZeroSessionsAllocFree(t *testing.T) {
+	e := sim.New(1)
+	disk := storage.NewDisk(e, "sda", storage.DefaultSSD(1<<16), newFIFO())
+	c := pagecache.New(e, pagecache.DefaultConfig(1<<12))
+	fs := cowfs.New(e, 1, disk, c)
+	d := New(c)
+	_ = AttachCow(d, fs)
+	key := pagecache.PageKey{FS: 1, Ino: 42, Index: 0}
+	var avg float64
+	e.Go("alloc-test", func(p *sim.Proc) {
+		defer e.Stop()
+		for i := 0; i < 64; i++ {
+			c.Insert(p, key, 1)
+			c.Remove(key)
+		}
+		avg = testing.AllocsPerRun(200, func() {
+			c.Insert(p, key, 1)
+			c.Remove(key)
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("zero-session emit allocates %.1f allocs/op, want 0", avg)
+	}
+	if got := d.Stats().HookCalls; got != 0 {
+		t.Errorf("HookCalls = %d with no sessions, want 0", got)
+	}
+	if f := c.Stats().EventsFiltered; f == 0 {
+		t.Error("no events were filtered by the interest mask")
+	}
+}
+
+// TestDescriptorRecycling pins the descriptor free list: a steady
+// deliver-then-fetch cycle must reuse freed itemDescs instead of
+// allocating new ones.
+func TestDescriptorRecycling(t *testing.T) {
+	e := sim.New(1)
+	disk := storage.NewDisk(e, "sda", storage.DefaultSSD(1<<16), newFIFO())
+	c := pagecache.New(e, pagecache.DefaultConfig(1<<12))
+	fs := cowfs.New(e, 1, disk, c)
+	d := New(c)
+	ad := AttachCow(d, fs)
+	sess, err := d.RegisterBlock(ad, EventBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pagecache.PageKey{FS: 1, Ino: 42, Index: 0}
+	buf := make([]Item, 16)
+	var avg float64
+	e.Go("alloc-test", func(p *sim.Proc) {
+		defer e.Stop()
+		for i := 0; i < 64; i++ {
+			c.Insert(p, key, 1)
+			c.Remove(key)
+			sess.FetchInto(buf)
+		}
+		avg = testing.AllocsPerRun(200, func() {
+			c.Insert(p, key, 1)
+			c.Remove(key)
+			sess.FetchInto(buf)
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("deliver+fetch cycle allocates %.1f allocs/op, want 0", avg)
+	}
+	st := d.Stats()
+	if st.DescFrees == 0 || st.CurDescs != 0 {
+		t.Errorf("descriptor accounting: frees=%d cur=%d", st.DescFrees, st.CurDescs)
+	}
+}

@@ -64,6 +64,8 @@ type itemDesc struct {
 	key    itemKey
 	flags  [MaxSessions]uint8
 	queued uint32 // per-session: descriptor is in the session's fetch queue
+
+	nextFree *itemDesc // free-list link while the descriptor is unused
 }
 
 const (
@@ -123,8 +125,12 @@ type Duet struct {
 	fses     map[pagecache.FSID]FSAdapter
 	sessions [MaxSessions]*Session
 	active   []*Session // active sessions in id order
-	table    descTable
-	stats    Stats
+	// globalMask is the union of active session masks (§4.1's global
+	// filtering: maintained on register/deregister so the page cache can
+	// skip hook dispatch for event types no session cares about).
+	globalMask Mask
+	table      descTable
+	stats      Stats
 	// MeasureCPU enables real-time accounting of hook and fetch cost
 	// (used by the Figure 9 overhead experiment). Off by default: calling
 	// time.Now twice per page event is itself measurable.
@@ -149,11 +155,20 @@ func (d *Duet) AttachFS(a FSAdapter) { d.fses[a.FSID()] = a }
 func (d *Duet) Stats() *Stats { return &d.stats }
 
 // table holds the merged item descriptors; descByFile indexes them per
-// file for done-marking and move handling.
+// file for done-marking and move handling. Freed descriptors are
+// recycled through a free list, so the event hot path stops allocating
+// once the table has reached its high-water mark.
 type descTable struct {
-	byKey  map[itemKey]*itemDesc
-	byFile map[fileKey]map[uint64]*itemDesc
+	byKey    map[itemKey]*itemDesc
+	byFile   map[fileKey]map[uint64]*itemDesc
+	freeList *itemDesc
+	// freeMaps recycles emptied per-file index maps: a file whose last
+	// descriptor is freed would otherwise force a map allocation on its
+	// next event. Bounded so a burst of distinct files cannot pin memory.
+	freeMaps []map[uint64]*itemDesc
 }
+
+const maxFreeMaps = 32
 
 func (t *descTable) init() {
 	t.byKey = make(map[itemKey]*itemDesc)
@@ -166,12 +181,25 @@ func (t *descTable) getOrCreate(k itemKey, st *Stats) *itemDesc {
 	if desc := t.byKey[k]; desc != nil {
 		return desc
 	}
-	desc := &itemDesc{key: k}
+	desc := t.freeList
+	if desc != nil {
+		t.freeList = desc.nextFree
+		desc.nextFree = nil
+		desc.key = k
+	} else {
+		desc = &itemDesc{key: k}
+	}
 	t.byKey[k] = desc
 	fk := fileKey{k.fs, k.ino}
 	m := t.byFile[fk]
 	if m == nil {
-		m = make(map[uint64]*itemDesc)
+		if n := len(t.freeMaps); n > 0 {
+			m = t.freeMaps[n-1]
+			t.freeMaps[n-1] = nil
+			t.freeMaps = t.freeMaps[:n-1]
+		} else {
+			m = make(map[uint64]*itemDesc)
+		}
 		t.byFile[fk] = m
 	}
 	m[k.idx] = desc
@@ -190,10 +218,15 @@ func (t *descTable) free(desc *itemDesc, st *Stats) {
 		delete(m, desc.key.idx)
 		if len(m) == 0 {
 			delete(t.byFile, fk)
+			if len(t.freeMaps) < maxFreeMaps {
+				t.freeMaps = append(t.freeMaps, m)
+			}
 		}
 	}
 	st.DescFrees++
 	st.CurDescs--
+	*desc = itemDesc{nextFree: t.freeList}
+	t.freeList = desc
 }
 
 // ensureTable lazily initializes the descriptor table.
@@ -215,6 +248,36 @@ func (d *Duet) maybeFree(desc *itemDesc) {
 		}
 	}
 	d.table.free(desc, &d.stats)
+}
+
+// EventInterest implements pagecache.InterestReporter. The cache
+// consults this to skip hook dispatch entirely when nothing is
+// listening — the paper's §4.1 global filtering, performed before any
+// per-task work. With no active session the interest is empty, so the
+// baseline configurations of every experiment pay nothing for the
+// installed hook. While any session is active Duet asks for all four
+// event types: even a session whose mask selects only a subset still
+// observes every event for its descriptor state bookkeeping (current
+// Exists/Modified bits must track all transitions) and delivery
+// accounting, so type-level filtering cannot be applied above it.
+func (d *Duet) EventInterest() uint8 {
+	if d.globalMask == 0 {
+		return 0
+	}
+	return pagecache.AllEvents
+}
+
+var _ pagecache.InterestReporter = (*Duet)(nil)
+
+// refreshGlobalMask recomputes the session-mask union and pushes the
+// derived event interest into the page cache. Called on session
+// register/deregister.
+func (d *Duet) refreshGlobalMask() {
+	d.globalMask = 0
+	for _, s := range d.active {
+		d.globalMask |= s.mask
+	}
+	d.cache.RefreshInterest()
 }
 
 // PageEvent implements pagecache.Hook: it fans the event out to every

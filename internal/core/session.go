@@ -90,6 +90,7 @@ func (d *Duet) newSession(kind taskKind, fs FSAdapter, root uint64, mask Mask) (
 	}
 	d.sessions[slot] = s
 	d.active = append(d.active, s)
+	d.refreshGlobalMask()
 	d.ensureTable()
 	// Registration scan (§4.1): initialize descriptors from the pages
 	// already cached, so the task can exploit them immediately and state
@@ -143,6 +144,7 @@ func (s *Session) Close() error {
 			break
 		}
 	}
+	d.refreshGlobalMask()
 	// Drop queued references and free descriptors nobody else needs.
 	for _, desc := range s.queue[s.qhead:] {
 		if desc == nil {

@@ -61,6 +61,19 @@ func (c *Config) newScheduler() storage.Scheduler {
 	return sched
 }
 
+// cacheConfig derives the page-cache configuration, applying the
+// machine-level writeback overrides.
+func (c *Config) cacheConfig() pagecache.Config {
+	cc := pagecache.DefaultConfig(c.CachePages)
+	if c.DirtyExpire > 0 {
+		cc.DirtyExpire = c.DirtyExpire
+	}
+	if c.WritebackInterval > 0 {
+		cc.WritebackInterval = c.WritebackInterval
+	}
+	return cc
+}
+
 func (c *Config) Validate() error {
 	if c.DeviceBlocks <= 0 {
 		return fmt.Errorf("machine: DeviceBlocks must be positive")
@@ -118,14 +131,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	disk := storage.NewDisk(e, "sda", model, cfg.newScheduler())
-	cc := pagecache.DefaultConfig(cfg.CachePages)
-	if cfg.DirtyExpire > 0 {
-		cc.DirtyExpire = cfg.DirtyExpire
-	}
-	if cfg.WritebackInterval > 0 {
-		cc.WritebackInterval = cfg.WritebackInterval
-	}
-	cache := pagecache.New(e, cc)
+	cache := pagecache.New(e, cfg.cacheConfig())
 	fs := cowfs.New(e, 1, disk, cache)
 	d := core.New(cache)
 	ad := core.AttachCow(d, fs)
@@ -188,19 +194,39 @@ func NewLFS(cfg Config, fscfg lfs.Config) (*LFSMachine, error) {
 		}
 	}
 	disk := storage.NewDisk(e, "sda", model, cfg.newScheduler())
-	cc := pagecache.DefaultConfig(cfg.CachePages)
-	if cfg.DirtyExpire > 0 {
-		cc.DirtyExpire = cfg.DirtyExpire
-	}
-	if cfg.WritebackInterval > 0 {
-		cc.WritebackInterval = cfg.WritebackInterval
-	}
-	cache := pagecache.New(e, cc)
+	cache := pagecache.New(e, cfg.cacheConfig())
 	fs := lfs.New(e, 1, disk, cache, fscfg)
 	d := core.New(cache)
 	ad := core.AttachLFS(d, fs)
 	return &LFSMachine{Cfg: cfg, Eng: e, Disk: disk, Cache: cache, FS: fs, Duet: d, Adapter: ad}, nil
 }
+
+// EventStats summarises page-event dispatch efficiency for a run: how
+// many events the cache raised, how many the global interest mask
+// filtered before any hook ran, and how many calls reached Duet's hook.
+// With no active session, Filtered should equal Dispatched and
+// HookCalls should be zero — the baseline pays nothing for Duet being
+// loaded.
+type EventStats struct {
+	Dispatched int64
+	Filtered   int64
+	HookCalls  int64
+}
+
+func eventStats(c *pagecache.Cache, d *core.Duet) EventStats {
+	cs := c.Stats()
+	return EventStats{
+		Dispatched: cs.EventsDispatched,
+		Filtered:   cs.EventsFiltered,
+		HookCalls:  d.Stats().HookCalls,
+	}
+}
+
+// EventStats reports the machine's page-event dispatch counters.
+func (m *Machine) EventStats() EventStats { return eventStats(m.Cache, m.Duet) }
+
+// EventStats reports the machine's page-event dispatch counters.
+func (m *LFSMachine) EventStats() EventStats { return eventStats(m.Cache, m.Duet) }
 
 // PopulateSpec describes a synthetic file tree, Filebench-style.
 type PopulateSpec struct {

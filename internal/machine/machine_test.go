@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"duet/internal/core"
 	"duet/internal/lfs"
 	"duet/internal/sim"
 	"duet/internal/storage"
@@ -196,5 +197,57 @@ func TestNewLFSMachine(t *testing.T) {
 	}
 	if m.Adapter.FSID() != m.FS.ID() {
 		t.Error("adapter mismatch")
+	}
+}
+
+// TestBaselineEventFiltering asserts the global-interest-mask contract
+// at the assembled-machine level: with Duet loaded but no session
+// registered, every page event is filtered before hook dispatch, and
+// opening a session flips the mask so events start reaching the hook.
+func TestBaselineEventFiltering(t *testing.T) {
+	m, err := New(Config{Seed: 1, DeviceBlocks: 4096, CachePages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := m.Populate(DefaultPopulateSpec("/data", 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Eng.Go("reader", func(p *sim.Proc) {
+		defer m.Eng.Stop()
+		if err := m.FS.ReadFile(p, files[0].Ino, storage.ClassNormal, "t"); err != nil {
+			t.Error(err)
+			return
+		}
+		st := m.EventStats()
+		if st.Dispatched == 0 {
+			t.Error("no page events raised; test is vacuous")
+			return
+		}
+		if st.Filtered != st.Dispatched || st.HookCalls != 0 {
+			t.Errorf("baseline: dispatched=%d filtered=%d hookCalls=%d; want all filtered, zero hook calls",
+				st.Dispatched, st.Filtered, st.HookCalls)
+		}
+
+		sess, err := m.Duet.RegisterBlock(m.Adapter, core.EventBits)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sess.Close()
+		if err := m.FS.ReadFile(p, files[1].Ino, storage.ClassNormal, "t"); err != nil {
+			t.Error(err)
+			return
+		}
+		st2 := m.EventStats()
+		if st2.HookCalls == 0 {
+			t.Error("with an active session, no events reached the hook")
+		}
+		if st2.Filtered != st.Filtered {
+			t.Errorf("events still filtered with an active session: %d -> %d", st.Filtered, st2.Filtered)
+		}
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -15,10 +15,16 @@
 // Duet attaches to the cache through the Hook interface and receives the
 // four page events of the paper's Table 2: Added, Removed, Dirtied,
 // Flushed.
+//
+// The hot path is allocation-free in steady state: Page structs live in
+// a preallocated arena bounded by CapacityPages and are recycled through
+// a free list, the LRU and per-file indices are intrusive linked lists
+// threaded through the pages themselves, and writeback batches reuse
+// pooled buffers. A *Page handed to a Hook is only valid while the page
+// is resident — hooks must not retain it across events (see DESIGN.md).
 package pagecache
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 
@@ -40,6 +46,8 @@ const (
 	// EventFlushed fires when a dirty page is written back and its dirty
 	// bit cleared.
 	EventFlushed
+
+	numEventTypes = 4
 )
 
 // String returns the event name.
@@ -56,6 +64,9 @@ func (e EventType) String() string {
 	}
 	return fmt.Sprintf("EventType(%d)", uint8(e))
 }
+
+// AllEvents is the hook-interest bitmask selecting every event type.
+const AllEvents uint8 = 1<<numEventTypes - 1
 
 // FSID identifies a filesystem (address space owner) within the machine.
 type FSID uint32
@@ -91,18 +102,47 @@ func fileKeyLess(a, b FileKey) bool {
 }
 
 // Page is a cached page. Fields are read-only outside this package.
+//
+// Pages are arena-allocated and recycled: a *Page is only valid while
+// the page is resident in the cache. Hooks receive the pointer for the
+// duration of one PageEvent call and must not retain it.
 type Page struct {
 	Key     PageKey
 	Version uint64 // content stamp
 	Dirty   bool
 	DirtyAt sim.Time
 
-	elem *list.Element
+	// Intrusive links. lruPrev/lruNext thread the global LRU (front =
+	// most recently used); filePrev/fileNext thread the per-file index
+	// in ascending page-index order. fileNext doubles as the arena
+	// free-list link while the page is not resident.
+	lruPrev, lruNext   *Page
+	filePrev, fileNext *Page
+
+	// resident is true while the page is linked into the LRU and its
+	// file's index. pins counts in-flight references held across a
+	// blocking call (reclaim holding its eviction candidate); a pinned
+	// page is not recycled into the arena even after removal, so the
+	// holder's pointer stays frozen rather than aliasing a new page.
+	resident bool
+	pins     int32
 }
 
 // Hook receives page events. Duet implements this interface.
 type Hook interface {
 	PageEvent(ev EventType, pg *Page)
+}
+
+// InterestReporter is optionally implemented by hooks that can report
+// which event types they currently need (a bitmask with bit 1<<ev set
+// for each interesting EventType). The cache skips hook dispatch
+// entirely for event types no hook is interested in — the paper's §4.1
+// framework-side filtering, hoisted in front of the dispatch loop.
+// Hooks that do not implement InterestReporter are assumed to want
+// every event. Hooks whose interest changes must call
+// Cache.RefreshInterest.
+type InterestReporter interface {
+	EventInterest() uint8
 }
 
 // EvictionAdvisor biases reclaim: pages the advisor wants kept are passed
@@ -159,7 +199,65 @@ type Stats struct {
 	WritebackPages   int64
 	RemovedByDelete  int64
 	EventsDispatched int64
+	EventsFiltered   int64 // events skipped by the hook interest mask
 	AdvisorDeferrals int64 // reclaim scans that passed over advised pages
+}
+
+// arenaSlabPages is the growth quantum of the page arena. The arena
+// never exceeds CapacityPages and never shrinks; slabs keep the upfront
+// cost of small short-lived caches (one per experiment grid cell) low
+// while guaranteeing pointer stability.
+const arenaSlabPages = 1024
+
+// pageArena hands out Page structs from preallocated slabs and recycles
+// them through a free list, so the cache performs zero allocations per
+// insert once warm.
+type pageArena struct {
+	slabs [][]Page
+	used  int   // pages handed out from the newest slab
+	free  *Page // recycled pages, linked through fileNext
+}
+
+func (a *pageArena) alloc() *Page {
+	if pg := a.free; pg != nil {
+		a.free = pg.fileNext
+		pg.fileNext = nil
+		return pg
+	}
+	if len(a.slabs) == 0 || a.used == len(a.slabs[len(a.slabs)-1]) {
+		a.slabs = append(a.slabs, make([]Page, arenaSlabPages))
+		a.used = 0
+	}
+	slab := a.slabs[len(a.slabs)-1]
+	pg := &slab[a.used]
+	a.used++
+	return pg
+}
+
+func (a *pageArena) release(pg *Page) {
+	*pg = Page{fileNext: a.free}
+	a.free = pg
+}
+
+// fileList is the per-file page index: an intrusive doubly-linked list
+// in ascending page-index order, threaded through Page.filePrev/fileNext.
+type fileList struct {
+	head, tail *Page
+	n          int
+	nextFree   *fileList // pool link while unused
+}
+
+// wbBatch is a reusable writeback staging buffer. A flat index/version
+// array plus file boundaries describes per-file batches without
+// allocating a slice per file. Buffers are pooled because writeback
+// blocks in virtual time, so several flush paths can be staging
+// concurrently.
+type wbBatch struct {
+	idx   []uint64
+	vers  []uint64
+	files []FileKey
+	off   []int // files[i] covers idx[off[i]:off[i+1]]
+	next  *wbBatch
 }
 
 // Cache is the simulated page cache.
@@ -167,13 +265,19 @@ type Cache struct {
 	eng      *sim.Engine
 	cfg      Config
 	pages    map[PageKey]*Page
-	lru      *list.List // front = most recently used
 	dirty    *rbtree.Tree[PageKey, *Page]
-	files    map[FileKey]map[uint64]*Page // per-file page index
+	files    map[FileKey]*fileList
 	backends map[FSID]Backend
 	hooks    []Hook
+	interest uint8 // union of hook event interest; emit skips masked-out types
 	advisor  EvictionAdvisor
 	stats    Stats
+
+	lruHead, lruTail *Page // lruHead = most recently used
+
+	arena     pageArena
+	flFree    *fileList
+	batchFree *wbBatch
 
 	flusherKick *sim.WaitQueue
 }
@@ -196,9 +300,8 @@ func New(e *sim.Engine, cfg Config) *Cache {
 		eng:      e,
 		cfg:      cfg,
 		pages:    make(map[PageKey]*Page),
-		lru:      list.New(),
 		dirty:    rbtree.New[PageKey, *Page](keyLess),
-		files:    make(map[FileKey]map[uint64]*Page),
+		files:    make(map[FileKey]*fileList),
 		backends: make(map[FSID]Backend),
 	}
 	c.flusherKick = sim.NewWaitQueue(e)
@@ -222,27 +325,194 @@ func (c *Cache) DirtyLen() int { return c.dirty.Len() }
 func (c *Cache) RegisterFS(fs FSID, b Backend) { c.backends[fs] = b }
 
 // AddHook registers an event hook (Duet).
-func (c *Cache) AddHook(h Hook) { c.hooks = append(c.hooks, h) }
+func (c *Cache) AddHook(h Hook) {
+	c.hooks = append(c.hooks, h)
+	c.RefreshInterest()
+}
 
 // SetAdvisor installs (or, with nil, removes) the eviction advisor.
 func (c *Cache) SetAdvisor(a EvictionAdvisor) { c.advisor = a }
 
-// RemoveHook detaches a previously added hook.
+// RemoveHook detaches a previously added hook. The hook list is
+// copy-on-write: removal while an event is being dispatched is safe —
+// the in-flight dispatch finishes over its snapshot (so the removed
+// hook may still observe the current event), and subsequent events no
+// longer reach it.
 func (c *Cache) RemoveHook(h Hook) {
 	for i, hh := range c.hooks {
 		if hh == h {
-			c.hooks = append(c.hooks[:i], c.hooks[i+1:]...)
+			nh := make([]Hook, 0, len(c.hooks)-1)
+			nh = append(nh, c.hooks[:i]...)
+			nh = append(nh, c.hooks[i+1:]...)
+			c.hooks = nh
+			c.RefreshInterest()
 			return
 		}
 	}
 }
 
+// RefreshInterest recomputes the union of hook event interest. Hooks
+// that implement InterestReporter and change their interest (Duet, on
+// session register/deregister) must call this.
+func (c *Cache) RefreshInterest() {
+	var m uint8
+	for _, h := range c.hooks {
+		if ir, ok := h.(InterestReporter); ok {
+			m |= ir.EventInterest()
+		} else {
+			m = AllEvents
+			break
+		}
+	}
+	c.interest = m
+}
+
 func (c *Cache) emit(ev EventType, pg *Page) {
 	c.stats.EventsDispatched++
-	for _, h := range c.hooks {
+	if c.interest&(1<<ev) == 0 {
+		c.stats.EventsFiltered++
+		return
+	}
+	// Snapshot: RemoveHook replaces the slice rather than splicing it,
+	// so an in-flight dispatch is immune to hook removal from inside a
+	// callback.
+	hooks := c.hooks
+	for _, h := range hooks {
 		h.PageEvent(ev, pg)
 	}
 }
+
+// --- intrusive LRU ---------------------------------------------------------
+
+func (c *Cache) lruPushFront(pg *Page) {
+	pg.lruPrev = nil
+	pg.lruNext = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.lruPrev = pg
+	}
+	c.lruHead = pg
+	if c.lruTail == nil {
+		c.lruTail = pg
+	}
+}
+
+func (c *Cache) lruRemove(pg *Page) {
+	if pg.lruPrev != nil {
+		pg.lruPrev.lruNext = pg.lruNext
+	} else {
+		c.lruHead = pg.lruNext
+	}
+	if pg.lruNext != nil {
+		pg.lruNext.lruPrev = pg.lruPrev
+	} else {
+		c.lruTail = pg.lruPrev
+	}
+	pg.lruPrev, pg.lruNext = nil, nil
+}
+
+func (c *Cache) lruMoveToFront(pg *Page) {
+	if c.lruHead == pg {
+		return
+	}
+	c.lruRemove(pg)
+	c.lruPushFront(pg)
+}
+
+// --- per-file index --------------------------------------------------------
+
+func (c *Cache) newFileList() *fileList {
+	if fl := c.flFree; fl != nil {
+		c.flFree = fl.nextFree
+		fl.nextFree = nil
+		return fl
+	}
+	return &fileList{}
+}
+
+// fileInsert links pg into its file's index-ordered list. Insertion
+// scans from the tail, so sequential workloads link in O(1).
+func (c *Cache) fileInsert(pg *Page) {
+	fk := FileKey{pg.Key.FS, pg.Key.Ino}
+	fl := c.files[fk]
+	if fl == nil {
+		fl = c.newFileList()
+		c.files[fk] = fl
+	}
+	fl.n++
+	at := fl.tail
+	for at != nil && at.Key.Index > pg.Key.Index {
+		at = at.filePrev
+	}
+	if at == nil { // new head
+		pg.filePrev = nil
+		pg.fileNext = fl.head
+		if fl.head != nil {
+			fl.head.filePrev = pg
+		}
+		fl.head = pg
+		if fl.tail == nil {
+			fl.tail = pg
+		}
+		return
+	}
+	pg.filePrev = at
+	pg.fileNext = at.fileNext
+	if at.fileNext != nil {
+		at.fileNext.filePrev = pg
+	} else {
+		fl.tail = pg
+	}
+	at.fileNext = pg
+}
+
+// fileRemove unlinks pg from its file's list, releasing the list when it
+// empties.
+func (c *Cache) fileRemove(pg *Page) {
+	fk := FileKey{pg.Key.FS, pg.Key.Ino}
+	fl := c.files[fk]
+	if fl == nil {
+		return
+	}
+	if pg.filePrev != nil {
+		pg.filePrev.fileNext = pg.fileNext
+	} else {
+		fl.head = pg.fileNext
+	}
+	if pg.fileNext != nil {
+		pg.fileNext.filePrev = pg.filePrev
+	} else {
+		fl.tail = pg.filePrev
+	}
+	pg.filePrev, pg.fileNext = nil, nil
+	fl.n--
+	if fl.n == 0 {
+		delete(c.files, fk)
+		fl.nextFree = c.flFree
+		c.flFree = fl
+	}
+}
+
+// --- writeback batch pool --------------------------------------------------
+
+func (c *Cache) getBatch() *wbBatch {
+	if b := c.batchFree; b != nil {
+		c.batchFree = b.next
+		b.next = nil
+		return b
+	}
+	return &wbBatch{}
+}
+
+func (c *Cache) putBatch(b *wbBatch) {
+	b.idx = b.idx[:0]
+	b.vers = b.vers[:0]
+	b.files = b.files[:0]
+	b.off = b.off[:0]
+	b.next = c.batchFree
+	c.batchFree = b
+}
+
+// --- lookup / insert / evict ----------------------------------------------
 
 // Lookup returns the page if cached, promoting it in the LRU.
 func (c *Cache) Lookup(key PageKey) (*Page, bool) {
@@ -252,7 +522,7 @@ func (c *Cache) Lookup(key PageKey) (*Page, bool) {
 		return nil, false
 	}
 	c.stats.Hits++
-	c.lru.MoveToFront(pg.elem)
+	c.lruMoveToFront(pg)
 	return pg, true
 }
 
@@ -274,20 +544,17 @@ func (c *Cache) Contains(key PageKey) bool {
 // forces a synchronous writeback), so it needs the calling process.
 func (c *Cache) Insert(p *sim.Proc, key PageKey, version uint64) *Page {
 	if pg, ok := c.pages[key]; ok {
-		c.lru.MoveToFront(pg.elem)
+		c.lruMoveToFront(pg)
 		return pg
 	}
 	c.makeRoom(p)
-	pg := &Page{Key: key, Version: version}
-	pg.elem = c.lru.PushFront(pg)
+	pg := c.arena.alloc()
+	pg.Key = key
+	pg.Version = version
+	pg.resident = true
+	c.lruPushFront(pg)
 	c.pages[key] = pg
-	fk := FileKey{key.FS, key.Ino}
-	fp := c.files[fk]
-	if fp == nil {
-		fp = make(map[uint64]*Page)
-		c.files[fk] = fp
-	}
-	fp[key.Index] = pg
+	c.fileInsert(pg)
 	c.stats.Inserts++
 	c.emit(EventAdded, pg)
 	return pg
@@ -301,8 +568,13 @@ func (c *Cache) makeRoom(p *sim.Proc) {
 			// The reclaim window is all dirty: write back the coldest
 			// page's whole file (batched into coalesced device writes,
 			// as kernel reclaim hands contiguous ranges to writeback)
-			// and retry the scan for a clean victim.
-			tail := c.lru.Back().Value.(*Page)
+			// and retry the scan for a clean victim. The writebacks
+			// block, so tail is pinned: a concurrent process may evict
+			// it meanwhile, and the pin keeps the struct (and the
+			// frozen key/version the fallback below relies on) from
+			// being recycled under our pointer.
+			tail := c.lruTail
+			tail.pins++
 			c.stats.DirtyEvictions++
 			_ = c.SyncFile(p, tail.Key.FS, tail.Key.Ino)
 			victim = c.pickVictim()
@@ -311,6 +583,10 @@ func (c *Cache) makeRoom(p *sim.Proc) {
 				// forced page writeback.
 				c.writebackOne(p, tail)
 				victim = tail
+			}
+			tail.pins--
+			if !tail.resident && tail.pins == 0 && victim != tail {
+				c.arena.release(tail)
 			}
 		}
 		c.removePage(victim, EventRemoved)
@@ -328,9 +604,8 @@ func (c *Cache) makeRoom(p *sim.Proc) {
 func (c *Cache) pickVictim() *Page {
 	const scanLimit = 128
 	var fallback *Page
-	e := c.lru.Back()
-	for i := 0; e != nil && i < scanLimit; i++ {
-		pg := e.Value.(*Page)
+	pg := c.lruTail
+	for i := 0; pg != nil && i < scanLimit; i++ {
 		if !pg.Dirty {
 			if c.advisor == nil || !c.advisor.KeepPage(pg) {
 				return pg
@@ -340,7 +615,7 @@ func (c *Cache) pickVictim() *Page {
 				c.stats.AdvisorDeferrals++
 			}
 		}
-		e = e.Prev()
+		pg = pg.lruPrev
 	}
 	return fallback
 }
@@ -351,28 +626,40 @@ func (c *Cache) writebackOne(p *sim.Proc, pg *Page) {
 	if b == nil {
 		panic(fmt.Sprintf("pagecache: no backend for fs %d", pg.Key.FS))
 	}
-	ver := pg.Version
-	_ = b.WritebackPages(p, pg.Key.Ino, []uint64{pg.Key.Index})
+	key, ver := pg.Key, pg.Version
+	one := c.getBatch()
+	one.idx = append(one.idx, key.Index)
+	_ = b.WritebackPages(p, key.Ino, one.idx)
+	c.putBatch(one)
 	c.stats.WritebackPages++
-	c.markCleanIf(pg.Key, ver)
+	c.markCleanIf(key, ver)
 }
 
-// removePage drops the page from all indices and fires ev.
+// removePage drops the page from all indices, fires ev, and recycles the
+// Page struct (unless pinned). The pointer must not be used after this
+// returns. A non-resident page — reclaim's pinned candidate that a
+// concurrent process already evicted during a blocking writeback — is
+// not unlinked again; it only re-fires the event, as eviction raced and
+// both parties report the removal. If the key was re-inserted during the
+// race, the fresh page is left fully intact (the map delete is guarded),
+// so a raced double-eviction can never orphan a live page.
 func (c *Cache) removePage(pg *Page, ev EventType) {
-	delete(c.pages, pg.Key)
-	c.lru.Remove(pg.elem)
-	if pg.Dirty {
-		c.dirty.Delete(pg.Key)
-		pg.Dirty = false
+	if cur, ok := c.pages[pg.Key]; ok && cur == pg {
+		delete(c.pages, pg.Key)
 	}
-	fk := FileKey{pg.Key.FS, pg.Key.Ino}
-	if fp := c.files[fk]; fp != nil {
-		delete(fp, pg.Key.Index)
-		if len(fp) == 0 {
-			delete(c.files, fk)
+	if pg.resident {
+		c.lruRemove(pg)
+		if pg.Dirty {
+			c.dirty.Delete(pg.Key)
+			pg.Dirty = false
 		}
+		c.fileRemove(pg)
+		pg.resident = false
 	}
 	c.emit(ev, pg)
+	if pg.pins == 0 {
+		c.arena.release(pg)
+	}
 }
 
 // MarkDirty sets the page's dirty bit and bumps its content version,
@@ -419,56 +706,60 @@ func (c *Cache) Remove(key PageKey) bool {
 
 // RemoveFile drops every cached page of a file (deletion).
 func (c *Cache) RemoveFile(fs FSID, ino uint64) int {
-	keys := c.fileKeys(fs, ino)
-	for _, k := range keys {
-		c.removePage(c.pages[k], EventRemoved)
+	fl := c.files[FileKey{fs, ino}]
+	if fl == nil {
+		return 0
+	}
+	n := 0
+	for pg := fl.head; pg != nil; {
+		next := pg.fileNext
+		c.removePage(pg, EventRemoved)
 		c.stats.RemovedByDelete++
+		n++
+		pg = next
 	}
-	return len(keys)
-}
-
-// fileKeys returns the sorted page keys of a file.
-func (c *Cache) fileKeys(fs FSID, ino uint64) []PageKey {
-	fp := c.files[FileKey{fs, ino}]
-	if len(fp) == 0 {
-		return nil
-	}
-	keys := make([]PageKey, 0, len(fp))
-	for idx := range fp {
-		keys = append(keys, PageKey{fs, ino, idx})
-	}
-	sortPageKeys(keys)
-	return keys
-}
-
-func sortPageKeys(keys []PageKey) {
-	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return n
 }
 
 // FilePages returns the number of cached pages of a file.
 func (c *Cache) FilePages(fs FSID, ino uint64) int {
-	return len(c.files[FileKey{fs, ino}])
+	if fl := c.files[FileKey{fs, ino}]; fl != nil {
+		return fl.n
+	}
+	return 0
 }
 
-// IterateFile calls fn for each cached page of a file in index order.
+// IterateFile calls fn for each cached page of a file in index order,
+// without allocating. fn may remove the page it was handed, but must not
+// otherwise insert or remove pages of the same file during iteration.
 func (c *Cache) IterateFile(fs FSID, ino uint64, fn func(pg *Page) bool) {
-	for _, k := range c.fileKeys(fs, ino) {
-		if pg, ok := c.pages[k]; ok {
-			if !fn(pg) {
-				return
-			}
+	fl := c.files[FileKey{fs, ino}]
+	if fl == nil {
+		return
+	}
+	for pg := fl.head; pg != nil; {
+		next := pg.fileNext // survives fn removing pg
+		if !fn(pg) {
+			return
 		}
+		pg = next
 	}
 }
 
 // Iterate calls fn for every cached page in key order (used by Duet's
 // registration scan). It snapshots keys first, so fn may mutate the cache.
 func (c *Cache) Iterate(fn func(pg *Page) bool) {
-	keys := make([]PageKey, 0, len(c.pages))
-	for k := range c.pages {
-		keys = append(keys, k)
+	fks := make([]FileKey, 0, len(c.files))
+	for fk := range c.files {
+		fks = append(fks, fk)
 	}
-	sortPageKeys(keys)
+	sort.Slice(fks, func(i, j int) bool { return fileKeyLess(fks[i], fks[j]) })
+	keys := make([]PageKey, 0, len(c.pages))
+	for _, fk := range fks {
+		for pg := c.files[fk].head; pg != nil; pg = pg.fileNext {
+			keys = append(keys, pg.Key)
+		}
+	}
 	for _, k := range keys {
 		if pg, ok := c.pages[k]; ok {
 			if !fn(pg) {
@@ -480,29 +771,34 @@ func (c *Cache) Iterate(fn func(pg *Page) bool) {
 
 // SyncFile writes back all dirty pages of one file immediately.
 func (c *Cache) SyncFile(p *sim.Proc, fs FSID, ino uint64) error {
-	var idx []uint64
-	var vers []uint64
-	c.IterateFile(fs, ino, func(pg *Page) bool {
-		if pg.Dirty {
-			idx = append(idx, pg.Key.Index)
-			vers = append(vers, pg.Version)
-		}
-		return true
-	})
-	if len(idx) == 0 {
+	fl := c.files[FileKey{fs, ino}]
+	if fl == nil {
 		return nil
 	}
-	b := c.backends[fs]
-	if b == nil {
+	b := c.getBatch()
+	for pg := fl.head; pg != nil; pg = pg.fileNext {
+		if pg.Dirty {
+			b.idx = append(b.idx, pg.Key.Index)
+			b.vers = append(b.vers, pg.Version)
+		}
+	}
+	if len(b.idx) == 0 {
+		c.putBatch(b)
+		return nil
+	}
+	be := c.backends[fs]
+	if be == nil {
 		panic(fmt.Sprintf("pagecache: no backend for fs %d", fs))
 	}
-	if err := b.WritebackPages(p, ino, idx); err != nil {
+	if err := be.WritebackPages(p, ino, b.idx); err != nil {
+		c.putBatch(b)
 		return err
 	}
-	c.stats.WritebackPages += int64(len(idx))
-	for i, ix := range idx {
-		c.markCleanIf(PageKey{fs, ino, ix}, vers[i])
+	c.stats.WritebackPages += int64(len(b.idx))
+	for i, ix := range b.idx {
+		c.markCleanIf(PageKey{fs, ino, ix}, b.vers[i])
 	}
+	c.putBatch(b)
 	return nil
 }
 
@@ -528,40 +824,39 @@ func (c *Cache) flusher(p *sim.Proc) {
 	}
 }
 
-// flushExpired writes back dirty pages older than minAge, grouped by file.
+// flushExpired writes back dirty pages older than minAge, grouped by
+// file. The staging buffers come from the batch pool, so repeated
+// flusher wakeups allocate nothing.
 func (c *Cache) flushExpired(p *sim.Proc, minAge sim.Time) {
 	now := c.eng.Now()
-	type batch struct {
-		fs   FSID
-		ino  uint64
-		idx  []uint64
-		vers []uint64
-	}
-	var batches []batch
-	var cur *batch
+	b := c.getBatch()
 	c.dirty.Ascend(nil, func(k PageKey, pg *Page) bool {
 		if now-pg.DirtyAt < minAge {
 			return true
 		}
-		if cur == nil || cur.fs != k.FS || cur.ino != k.Ino {
-			batches = append(batches, batch{fs: k.FS, ino: k.Ino})
-			cur = &batches[len(batches)-1]
+		fk := FileKey{k.FS, k.Ino}
+		if len(b.files) == 0 || b.files[len(b.files)-1] != fk {
+			b.files = append(b.files, fk)
+			b.off = append(b.off, len(b.idx))
 		}
-		cur.idx = append(cur.idx, k.Index)
-		cur.vers = append(cur.vers, pg.Version)
+		b.idx = append(b.idx, k.Index)
+		b.vers = append(b.vers, pg.Version)
 		return true
 	})
-	for _, b := range batches {
-		be := c.backends[b.fs]
+	b.off = append(b.off, len(b.idx))
+	for i, fk := range b.files {
+		be := c.backends[fk.FS]
 		if be == nil {
-			panic(fmt.Sprintf("pagecache: no backend for fs %d", b.fs))
+			panic(fmt.Sprintf("pagecache: no backend for fs %d", fk.FS))
 		}
-		if err := be.WritebackPages(p, b.ino, b.idx); err != nil {
+		lo, hi := b.off[i], b.off[i+1]
+		if err := be.WritebackPages(p, fk.Ino, b.idx[lo:hi]); err != nil {
 			continue // transient write errors leave pages dirty for retry
 		}
-		c.stats.WritebackPages += int64(len(b.idx))
-		for i, ix := range b.idx {
-			c.markCleanIf(PageKey{b.fs, b.ino, ix}, b.vers[i])
+		c.stats.WritebackPages += int64(hi - lo)
+		for j := lo; j < hi; j++ {
+			c.markCleanIf(PageKey{fk.FS, fk.Ino, b.idx[j]}, b.vers[j])
 		}
 	}
+	c.putBatch(b)
 }

@@ -469,3 +469,184 @@ func TestAdvisorFallbackWhenAllAdvised(t *testing.T) {
 type keepAll struct{}
 
 func (keepAll) KeepPage(pg *Page) bool { return true }
+
+// funcHook adapts a closure to the Hook interface.
+type funcHook struct {
+	fn func(ev EventType, pg *Page)
+}
+
+func (h *funcHook) PageEvent(ev EventType, pg *Page) { h.fn(ev, pg) }
+
+// TestRemoveHookDuringDispatch is the regression test for hook removal
+// from inside a PageEvent callback. With a splice-under-iteration
+// implementation, hook A removing itself shifts hook B into A's slot
+// and the dispatch loop skips B for the in-flight event. Copy-on-write
+// removal must deliver the current event to every hook that was
+// registered when it fired, and stop delivering to the removed hook
+// afterwards.
+func TestRemoveHookDuringDispatch(t *testing.T) {
+	h := newHarness(10)
+	h.c.RemoveHook(h.hook) // drop the harness hook; this test counts its own
+	var aCalls, bCalls int
+	var a, b *funcHook
+	a = &funcHook{fn: func(ev EventType, pg *Page) {
+		aCalls++
+		h.c.RemoveHook(a) // self-removal mid-dispatch
+	}}
+	b = &funcHook{fn: func(ev EventType, pg *Page) { bCalls++ }}
+	h.c.AddHook(a)
+	h.c.AddHook(b)
+	h.in(t, func(p *sim.Proc) {
+		h.c.Insert(p, key(1, 0), 1) // fires Added: a removes itself, b must still see it
+		h.c.Insert(p, key(1, 1), 1) // a is gone, only b sees it
+	})
+	if aCalls != 1 {
+		t.Errorf("removed hook called %d times, want 1 (the in-flight event only)", aCalls)
+	}
+	if bCalls != 2 {
+		t.Errorf("surviving hook called %d times, want 2 (must not be skipped by the removal)", bCalls)
+	}
+}
+
+// TestRemoveHookRefreshesInterest: removing the only interested hook
+// must drop the cache's interest mask back to zero so later events are
+// filtered before dispatch.
+func TestRemoveHookRefreshesInterest(t *testing.T) {
+	h := newHarness(10)
+	h.c.RemoveHook(h.hook)
+	if h.c.interest != 0 {
+		t.Fatalf("interest = %#x after removing only hook, want 0", h.c.interest)
+	}
+	base := h.c.Stats().EventsFiltered
+	h.in(t, func(p *sim.Proc) {
+		h.c.Insert(p, key(1, 0), 1)
+	})
+	if got := h.c.Stats().EventsFiltered - base; got == 0 {
+		t.Error("event was dispatched despite empty interest mask")
+	}
+}
+
+// TestAdvisorFallbackEvictsColdest pins the fallback choice: when every
+// clean page in the scan window is advised, pickVictim must evict the
+// COLDEST advised page (the LRU tail), not an arbitrary one — advice
+// defers eviction, it does not reorder the LRU among advised pages.
+func TestAdvisorFallbackEvictsColdest(t *testing.T) {
+	h := newHarness(4)
+	h.c.SetAdvisor(keepAll{})
+	h.in(t, func(p *sim.Proc) {
+		for i := uint64(0); i < 4; i++ {
+			h.c.Insert(p, key(1, i), 0)
+		}
+		// Promote 0 and 1; coldest is now (1,2).
+		h.c.Lookup(key(1, 0))
+		h.c.Lookup(key(1, 1))
+		h.c.Insert(p, key(1, 4), 0)
+		if h.c.Contains(key(1, 2)) {
+			t.Error("coldest advised page (1,2) survived; fallback picked a warmer victim")
+		}
+		for _, idx := range []uint64{0, 1, 3, 4} {
+			if !h.c.Contains(key(1, idx)) {
+				t.Errorf("page (1,%d) evicted; want only the coldest (1,2)", idx)
+			}
+		}
+	})
+}
+
+// TestAdvisorDeferralsAccounting pins the counter semantics: one
+// deferral per reclaim scan that passes over at least one advised clean
+// page, whether or not the scan ends up using the fallback. Scans that
+// find a non-advised victim before any advised page count nothing.
+func TestAdvisorDeferralsAccounting(t *testing.T) {
+	h := newHarness(2)
+	h.c.SetAdvisor(keepOdd{})
+	h.in(t, func(p *sim.Proc) {
+		// Cache: [0, 1]; coldest is (1,0), not advised -> no deferral.
+		h.c.Insert(p, key(1, 0), 0)
+		h.c.Insert(p, key(1, 1), 0)
+		h.c.Insert(p, key(1, 2), 0)
+		if got := h.c.Stats().AdvisorDeferrals; got != 0 {
+			t.Errorf("AdvisorDeferrals = %d after clean-victim scan, want 0", got)
+		}
+		// Cache: [1, 2]; coldest is (1,1), advised, so the scan defers
+		// once and evicts (1,2) instead.
+		h.c.Insert(p, key(1, 4), 0)
+		if got := h.c.Stats().AdvisorDeferrals; got != 1 {
+			t.Errorf("AdvisorDeferrals = %d after one deferring scan, want 1", got)
+		}
+		if !h.c.Contains(key(1, 1)) || h.c.Contains(key(1, 2)) {
+			t.Error("deferring scan evicted the wrong page")
+		}
+		// Cache: [1, 4]; coldest (1,1) advised, (1,4) clean non-advised:
+		// defers again (exactly once, not once per advised page seen).
+		h.c.Insert(p, key(1, 3), 0)
+		if got := h.c.Stats().AdvisorDeferrals; got != 2 {
+			t.Errorf("AdvisorDeferrals = %d, want 2", got)
+		}
+		// Cache: [1, 3], both advised -> fallback path also counts one.
+		h.c.Insert(p, key(1, 6), 0)
+		if got := h.c.Stats().AdvisorDeferrals; got != 3 {
+			t.Errorf("AdvisorDeferrals = %d after fallback scan, want 3", got)
+		}
+	})
+}
+
+// TestEvictionRaceReinsert pins the eviction-race contract of the page
+// arena: while reclaim is blocked writing back its LRU-tail candidate, a
+// concurrent process may evict that page and re-insert the same key.
+// The raced double-eviction must re-report the removal (both parties
+// observed it) but leave the freshly inserted page fully intact — in
+// the key map, the file index, and the dirty tree — so a later SyncFile
+// cannot lose its data.
+func TestEvictionRaceReinsert(t *testing.T) {
+	e := sim.New(1)
+	c := New(e, DefaultConfig(2))
+	b := &slowBackend{e: e, delay: 10 * sim.Millisecond}
+	c.RegisterFS(1, b)
+	h := newRecordingHook()
+	c.AddHook(h)
+	k1, k2, k3 := key(1, 0), key(1, 1), key(2, 0)
+	e.Go("inserter", func(p *sim.Proc) {
+		pg := c.Insert(p, k1, 1)
+		c.MarkDirty(pg, 1)
+		pg = c.Insert(p, k2, 2)
+		c.MarkDirty(pg, 2)
+		// Cache full, everything dirty: this insert blocks in reclaim
+		// writing back the tail (k1).
+		c.Insert(p, k3, 3)
+	})
+	e.Go("racer", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond) // let the inserter block first
+		c.Remove(k1)
+		pg := c.Insert(p, k1, 10)
+		c.MarkDirty(pg, 10)
+	})
+	e.Go("stopper", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(k1) {
+		t.Fatal("re-inserted page lost by raced double-eviction")
+	}
+	pg, ok := c.Lookup(k1)
+	if !ok || pg.Version != 10 {
+		t.Fatalf("Lookup(k1) = %v, %v; want the re-inserted page (version 10)", pg, ok)
+	}
+	if !pg.Dirty {
+		t.Error("re-inserted page lost its dirty bit")
+	}
+	// The re-inserted page must still be reachable through the per-file
+	// index, or SyncFile would silently skip it.
+	seen := false
+	c.IterateFile(1, 1, func(p *Page) bool {
+		if p.Key == k1 && p.Version == 10 {
+			seen = true
+		}
+		return true
+	})
+	if !seen {
+		t.Error("re-inserted page missing from the per-file index")
+	}
+}

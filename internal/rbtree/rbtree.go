@@ -10,10 +10,15 @@ package rbtree
 // Tree is an ordered map from K to V. The zero value is not usable; create
 // trees with New. Trees are not safe for concurrent use, which is fine:
 // everything above internal/sim is single-threaded by construction.
+//
+// Deleted nodes are recycled through an internal free list, so a tree
+// that churns around a steady size (like the page cache's dirty-page
+// index) stops allocating once it has reached its high-water mark.
 type Tree[K, V any] struct {
 	less func(a, b K) bool
 	root *node[K, V]
 	size int
+	free *node[K, V] // recycled nodes, linked through right
 }
 
 type node[K, V any] struct {
@@ -30,6 +35,30 @@ func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
 
 // Len returns the number of entries.
 func (t *Tree[K, V]) Len() int { return t.size }
+
+// newNode takes a node from the free list, or allocates one.
+func (t *Tree[K, V]) newNode(key K, val V) *node[K, V] {
+	n := t.free
+	if n == nil {
+		return &node[K, V]{key: key, val: val, red: true}
+	}
+	t.free = n.right
+	n.key, n.val = key, val
+	n.left, n.right = nil, nil
+	n.red = true
+	return n
+}
+
+// release zeroes a detached node (so pointer values do not pin garbage)
+// and pushes it onto the free list.
+func (t *Tree[K, V]) release(n *node[K, V]) {
+	var zk K
+	var zv V
+	n.key, n.val = zk, zv
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}
 
 func isRed[K, V any](n *node[K, V]) bool { return n != nil && n.red }
 
@@ -79,7 +108,7 @@ func (t *Tree[K, V]) Set(key K, val V) {
 func (t *Tree[K, V]) insert(h *node[K, V], key K, val V) *node[K, V] {
 	if h == nil {
 		t.size++
-		return &node[K, V]{key: key, val: val, red: true}
+		return t.newNode(key, val)
 	}
 	switch {
 	case t.less(key, h.key):
@@ -199,14 +228,15 @@ func minNode[K, V any](h *node[K, V]) *node[K, V] {
 	return h
 }
 
-func deleteMin[K, V any](h *node[K, V]) *node[K, V] {
+func (t *Tree[K, V]) deleteMin(h *node[K, V]) *node[K, V] {
 	if h.left == nil {
+		t.release(h)
 		return nil
 	}
 	if !isRed(h.left) && !isRed(h.left.left) {
 		h = moveRedLeft(h)
 	}
-	h.left = deleteMin(h.left)
+	h.left = t.deleteMin(h.left)
 	return fixUp(h)
 }
 
@@ -220,7 +250,7 @@ func (t *Tree[K, V]) DeleteMin() (key K, val V, ok bool) {
 	if !isRed(t.root.left) && !isRed(t.root.right) {
 		t.root.red = true
 	}
-	t.root = deleteMin(t.root)
+	t.root = t.deleteMin(t.root)
 	if t.root != nil {
 		t.root.red = false
 	}
@@ -255,6 +285,7 @@ func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 			h = rotateRight(h)
 		}
 		if !t.less(h.key, key) && h.right == nil {
+			t.release(h)
 			return nil
 		}
 		if !isRed(h.right) && !isRed(h.right.left) {
@@ -263,7 +294,7 @@ func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 		if !t.less(h.key, key) && !t.less(key, h.key) {
 			m := minNode(h.right)
 			h.key, h.val = m.key, m.val
-			h.right = deleteMin(h.right)
+			h.right = t.deleteMin(h.right)
 		} else {
 			h.right = t.delete(h.right, key)
 		}

@@ -277,3 +277,29 @@ func BenchmarkTreeGet(b *testing.B) {
 		tr.Get(i & 0xffff)
 	}
 }
+
+// TestNodeRecycling: once a tree has reached its high-water mark, a
+// delete/insert churn allocates nothing — deleted nodes come back from
+// the free list.
+func TestNodeRecycling(t *testing.T) {
+	tr := New[int, *int](func(a, b int) bool { return a < b })
+	v := new(int)
+	for i := 0; i < 64; i++ {
+		tr.Set(i, v)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Delete(17)
+		tr.Set(17, v)
+		k, _, _ := tr.DeleteMin()
+		tr.Set(k, v)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state churn allocated %.1f per run, want 0", allocs)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
