@@ -74,6 +74,57 @@ func main() {
 	frag := m.FS.FragmentedFiles(dataRoot.Ino)
 	fmt.Printf("fragmented files: %d\n\n", len(frag))
 
+	// Fragmentation histogram: how many files have 1, 2-3, 4-7, ... extents.
+	// Buckets are powers of two, like the free-space classes below.
+	var histo [16]int
+	maxBucket := 0
+	for _, f := range m.FS.FilesUnder(dataRoot.Ino) {
+		b := 0
+		for n := len(f.Extents); n > 1; n >>= 1 {
+			b++
+		}
+		if b >= len(histo) {
+			b = len(histo) - 1
+		}
+		histo[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	fmt.Println("== fragmentation histogram (files by extent count)")
+	hrows := [][]string{}
+	for b := 0; b <= maxBucket; b++ {
+		lo := 1 << b
+		hi := 1<<(b+1) - 1
+		label := fmt.Sprintf("%d", lo)
+		if hi > lo {
+			label = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		bar := ""
+		for k := 0; k < histo[b] && k < 40; k++ {
+			bar += "#"
+		}
+		hrows = append(hrows, []string{label, fmt.Sprint(histo[b]), bar})
+	}
+	metrics.RenderTable(os.Stdout, []string{"extents", "files", ""}, hrows)
+
+	// Free-space index occupancy: runs and blocks per size class. A
+	// healthy layout keeps most free blocks in large classes; churn
+	// shifts them toward class 0 (single-block holes).
+	fmt.Printf("\n== free-space index (%d runs, %d free blocks)\n", m.FS.FreeRuns(), m.FS.FreeBlocks())
+	brows := [][]string{}
+	for _, st := range m.FS.FreeSpaceBuckets() {
+		lo := int64(1) << st.Class
+		hi := int64(1)<<(st.Class+1) - 1
+		label := fmt.Sprintf("%d", lo)
+		if hi > lo {
+			label = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		brows = append(brows, []string{label, fmt.Sprint(st.Runs), fmt.Sprint(st.Blocks)})
+	}
+	metrics.RenderTable(os.Stdout, []string{"run-len", "runs", "blocks"}, brows)
+	fmt.Println()
+
 	// Top files by cached pages.
 	type fileInfo struct {
 		path    string

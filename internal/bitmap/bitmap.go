@@ -23,15 +23,22 @@ const (
 )
 
 type chunk struct {
-	words [chunkWords]uint64
-	pop   int // number of set bits in this chunk
+	words    [chunkWords]uint64
+	pop      int    // number of set bits in this chunk
+	nextFree *chunk // free-list link while recycled
 }
 
 // Sparse is a dynamically-allocated bitmap over a conceptually unbounded
 // index space. The zero value is not usable; create with New.
+//
+// Chunks released by Unset/Clear are parked on an internal free list and
+// reused by later Sets, so a bitmap that churns around a steady population
+// (like the allocator's size-class buckets) stops allocating once it has
+// reached its high-water mark.
 type Sparse struct {
 	chunks *rbtree.Tree[uint64, *chunk]
 	count  uint64 // total set bits
+	free   *chunk // recycled chunks, linked through nextFree
 }
 
 // New returns an empty sparse bitmap.
@@ -43,12 +50,29 @@ func split(i uint64) (ci uint64, word int, bit uint) {
 	return i / ChunkBits, int(i % ChunkBits / 64), uint(i % 64)
 }
 
+// newChunk takes a chunk from the free list, or allocates one. Recycled
+// chunks are already zeroed (they are only released when empty).
+func (s *Sparse) newChunk() *chunk {
+	c := s.free
+	if c == nil {
+		return &chunk{}
+	}
+	s.free = c.nextFree
+	c.nextFree = nil
+	return c
+}
+
+func (s *Sparse) releaseChunk(c *chunk) {
+	c.nextFree = s.free
+	s.free = c
+}
+
 // Set marks bit i. It reports whether the bit changed (was previously 0).
 func (s *Sparse) Set(i uint64) bool {
 	ci, w, b := split(i)
 	c, ok := s.chunks.Get(ci)
 	if !ok {
-		c = &chunk{}
+		c = s.newChunk()
 		s.chunks.Set(ci, c)
 	}
 	mask := uint64(1) << b
@@ -78,6 +102,7 @@ func (s *Sparse) Unset(i uint64) bool {
 	s.count--
 	if c.pop == 0 {
 		s.chunks.Delete(ci)
+		s.releaseChunk(c)
 	}
 	return true
 }
@@ -117,9 +142,19 @@ func (s *Sparse) UnsetRange(lo, hi uint64) uint64 {
 // Count returns the number of set bits.
 func (s *Sparse) Count() uint64 { return s.count }
 
-// Clear removes every set bit and releases all storage.
+// Clear removes every set bit. Chunk payloads and tree nodes are recycled
+// through the internal free lists rather than released to the garbage
+// collector.
 func (s *Sparse) Clear() {
-	s.chunks = rbtree.New[uint64, *chunk](func(a, b uint64) bool { return a < b })
+	s.chunks.Ascend(nil, func(_ uint64, c *chunk) bool {
+		for w := range c.words {
+			c.words[w] = 0
+		}
+		c.pop = 0
+		s.releaseChunk(c)
+		return true
+	})
+	s.chunks.Reset()
 	s.count = 0
 }
 
@@ -149,29 +184,31 @@ func (s *Sparse) IterateSet(fn func(i uint64) bool) {
 	})
 }
 
-// NextSet returns the smallest set bit >= from.
+// NextSet returns the smallest set bit >= from. It walks chunks through
+// Ceiling lookups rather than an iteration callback, so the allocator's
+// per-write size-class probes stay allocation-free.
 func (s *Sparse) NextSet(from uint64) (uint64, bool) {
-	start := from / ChunkBits
-	var res uint64
-	found := false
-	s.chunks.Ascend(&start, func(ci uint64, c *chunk) bool {
-		base := ci * ChunkBits
-		for w := 0; w < chunkWords; w++ {
-			word := c.words[w]
-			if base+uint64(w*64+63) < from {
-				continue
+	ci := from / ChunkBits
+	for {
+		cur, c, ok := s.chunks.Ceiling(ci)
+		if !ok {
+			return 0, false
+		}
+		base := cur * ChunkBits
+		w := 0
+		if cur == from/ChunkBits {
+			w = int(from % ChunkBits / 64)
+			// Mask off bits below from in the first word.
+			if word := c.words[w] &^ (uint64(1)<<(from%64) - 1); word != 0 {
+				return base + uint64(w*64+bits.TrailingZeros64(word)), true
 			}
-			for word != 0 {
-				b := bits.TrailingZeros64(word)
-				idx := base + uint64(w*64+b)
-				if idx >= from {
-					res, found = idx, true
-					return false
-				}
-				word &^= uint64(1) << uint(b)
+			w++
+		}
+		for ; w < chunkWords; w++ {
+			if word := c.words[w]; word != 0 {
+				return base + uint64(w*64+bits.TrailingZeros64(word)), true
 			}
 		}
-		return true
-	})
-	return res, found
+		ci = cur + 1
+	}
 }

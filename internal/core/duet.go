@@ -159,8 +159,8 @@ func (d *Duet) Stats() *Stats { return &d.stats }
 // recycled through a free list, so the event hot path stops allocating
 // once the table has reached its high-water mark.
 type descTable struct {
-	byKey    map[itemKey]*itemDesc
-	byFile   map[fileKey]map[uint64]*itemDesc
+	byKey    descTab
+	byFile   fdescTab
 	freeList *itemDesc
 	// freeMaps recycles emptied per-file index maps: a file whose last
 	// descriptor is freed would otherwise force a map allocation on its
@@ -170,15 +170,10 @@ type descTable struct {
 
 const maxFreeMaps = 32
 
-func (t *descTable) init() {
-	t.byKey = make(map[itemKey]*itemDesc)
-	t.byFile = make(map[fileKey]map[uint64]*itemDesc)
-}
-
-func (t *descTable) get(k itemKey) *itemDesc { return t.byKey[k] }
+func (t *descTable) get(k itemKey) *itemDesc { return t.byKey.get(k) }
 
 func (t *descTable) getOrCreate(k itemKey, st *Stats) *itemDesc {
-	if desc := t.byKey[k]; desc != nil {
+	if desc := t.byKey.get(k); desc != nil {
 		return desc
 	}
 	desc := t.freeList
@@ -189,9 +184,9 @@ func (t *descTable) getOrCreate(k itemKey, st *Stats) *itemDesc {
 	} else {
 		desc = &itemDesc{key: k}
 	}
-	t.byKey[k] = desc
+	t.byKey.put(k, desc)
 	fk := fileKey{k.fs, k.ino}
-	m := t.byFile[fk]
+	m := t.byFile.get(fk)
 	if m == nil {
 		if n := len(t.freeMaps); n > 0 {
 			m = t.freeMaps[n-1]
@@ -200,7 +195,7 @@ func (t *descTable) getOrCreate(k itemKey, st *Stats) *itemDesc {
 		} else {
 			m = make(map[uint64]*itemDesc)
 		}
-		t.byFile[fk] = m
+		t.byFile.put(fk, m)
 	}
 	m[k.idx] = desc
 	st.DescAllocs++
@@ -212,12 +207,12 @@ func (t *descTable) getOrCreate(k itemKey, st *Stats) *itemDesc {
 }
 
 func (t *descTable) free(desc *itemDesc, st *Stats) {
-	delete(t.byKey, desc.key)
+	t.byKey.del(desc.key)
 	fk := fileKey{desc.key.fs, desc.key.ino}
-	if m := t.byFile[fk]; m != nil {
+	if m := t.byFile.get(fk); m != nil {
 		delete(m, desc.key.idx)
 		if len(m) == 0 {
-			delete(t.byFile, fk)
+			t.byFile.del(fk)
 			if len(t.freeMaps) < maxFreeMaps {
 				t.freeMaps = append(t.freeMaps, m)
 			}
@@ -229,11 +224,8 @@ func (t *descTable) free(desc *itemDesc, st *Stats) {
 	t.freeList = desc
 }
 
-// ensureTable lazily initializes the descriptor table.
+// ensureTable returns the descriptor table (its zero value is ready).
 func (d *Duet) ensureTable() *descTable {
-	if d.table.byKey == nil {
-		d.table.init()
-	}
 	return &d.table
 }
 

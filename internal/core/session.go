@@ -387,7 +387,7 @@ func (s *Session) SetDone(id uint64) {
 	}
 	if s.kind == fileTask {
 		// Eagerly mark the file's descriptors up-to-date.
-		if m := s.d.table.byFile[fileKey{s.fsid, id}]; m != nil {
+		if m := s.d.table.byFile.get(fileKey{s.fsid, id}); m != nil {
 			idxs := make([]uint64, 0, len(m))
 			for idx := range m {
 				idxs = append(idxs, idx)
@@ -464,7 +464,7 @@ func (s *Session) handleMove(ino uint64, isDir bool, oldParent, newParent uint64
 	case wasTracked && !nowIn:
 		// Moved out: emit Removed/¬Exists for all the file's pages and
 		// stop tracking it (§4.1).
-		if m := s.d.table.byFile[fileKey{s.fsid, ino}]; m != nil {
+		if m := s.d.table.byFile.get(fileKey{s.fsid, ino}); m != nil {
 			idxs := make([]uint64, 0, len(m))
 			for idx := range m {
 				idxs = append(idxs, idx)

@@ -1,11 +1,14 @@
 package cowfs
 
-// Block allocation. Free space is kept as address-ordered free extents in
-// a red-black tree; allocation is first-fit from a caller-supplied hint,
-// falling back to a scan from the start of the device. Copy-on-write
-// means every overwrite allocates, so under a random-write workload the
-// free list — and therefore file layout — fragments naturally, which is
-// exactly the behaviour the defragmentation experiments need.
+// Block allocation. Free space is kept in the two-level index of
+// freeindex.go: address-ordered free runs plus size-class buckets.
+// Allocation is first-fit from a caller-supplied hint, falling back to a
+// scan from the start of the device — the same placement policy as the
+// original red-black-tree first-fit walk, now answered in O(log n) probes.
+// Copy-on-write means every overwrite allocates, so under a random-write
+// workload the free list — and therefore file layout — fragments
+// naturally, which is exactly the behaviour the defragmentation
+// experiments need.
 
 // run is a contiguous allocation.
 type run struct {
@@ -13,70 +16,95 @@ type run struct {
 	len  int64
 }
 
-// insertFree returns [start, start+length) to the free list, merging with
-// adjacent free extents.
+// runBuf is a pooled buffer for allocate results. Callers hold one across
+// the blocking cache operations that follow an allocation, so buffers are
+// pooled (not a single FS scratch): several processes can be mid-write in
+// virtual time at once.
+type runBuf struct {
+	runs []run
+	next *runBuf
+}
+
+func (fs *FS) getRunBuf() *runBuf {
+	b := fs.runBufs
+	if b == nil {
+		return &runBuf{}
+	}
+	fs.runBufs = b.next
+	b.next = nil
+	b.runs = b.runs[:0]
+	return b
+}
+
+func (fs *FS) putRunBuf(b *runBuf) {
+	b.next = fs.runBufs
+	fs.runBufs = b
+}
+
+// insertFree returns [start, start+length) to the free index, merging with
+// adjacent free runs.
 func (fs *FS) insertFree(start, length int64) {
 	if length <= 0 {
 		return
 	}
 	// Merge with the left neighbour if it ends exactly at start.
-	if ls, ll, ok := fs.free.Floor(start); ok {
+	if ls, ll, ok := fs.free.runs.Floor(start); ok {
 		if ls+ll == start {
-			fs.free.Delete(ls)
+			fs.free.remove(ls, ll)
 			start, length = ls, ll+length
 		}
 	}
 	// Merge with the right neighbour if it begins at our end.
-	if rs, rl, ok := fs.free.Ceiling(start + length); ok {
+	if rs, rl, ok := fs.free.runs.Ceiling(start + length); ok {
 		if rs == start+length {
-			fs.free.Delete(rs)
+			fs.free.remove(rs, rl)
 			length += rl
 		}
 	}
-	fs.free.Set(start, length)
+	fs.free.add(start, length)
 	// freeBlocks is maintained by the callers (deref and allocate).
 }
 
-// carve removes [at, at+length) from the free extent that contains it,
-// splitting the extent as needed.
+// carve removes [at, at+length) from the free run that contains it,
+// splitting the run as needed.
 func (fs *FS) carve(at, length int64) {
-	s, l, ok := fs.free.Floor(at)
+	s, l, ok := fs.free.runs.Floor(at)
 	if !ok || at+length > s+l {
 		panic("cowfs: carve outside free extent")
 	}
-	fs.free.Delete(s)
+	fs.free.remove(s, l)
 	if s < at {
-		fs.free.Set(s, at-s)
+		fs.free.add(s, at-s)
 	}
 	if at+length < s+l {
-		fs.free.Set(at+length, s+l-(at+length))
+		fs.free.add(at+length, s+l-(at+length))
 	}
 }
 
 // allocate obtains n blocks, preferring space at or after hint — including
-// the middle of a free extent spanning the hint, so a caller can place
-// data at a chosen device location. When no single free extent can hold n
-// blocks, the allocation splits across multiple runs (producing a
-// fragmented file). Returns ErrNoSpace if fewer than n blocks are free in
-// total.
-func (fs *FS) allocate(n int64, hint int64) ([]run, error) {
+// the middle of a free run spanning the hint, so a caller can place data
+// at a chosen device location. When no single free run can hold n blocks,
+// the allocation splits across multiple runs (producing a fragmented
+// file). Results are appended to buf, which the caller typically takes
+// from the run-buffer pool (getRunBuf); the appended slice is returned.
+// Returns ErrNoSpace if fewer than n blocks are free in total.
+func (fs *FS) allocate(n, hint int64, buf []run) ([]run, error) {
 	if n <= 0 {
-		return nil, nil
+		return buf, nil
 	}
 	if n > fs.freeBlocks {
-		return nil, ErrNoSpace
+		return buf, ErrNoSpace
 	}
-	var runs []run
 	remaining := n
 	for remaining > 0 {
 		at, avail, ok := fs.findSpace(remaining, hint)
 		length := remaining
 		if !ok {
-			// No extent holds the remainder in one piece: take what is
+			// No run holds the remainder in one piece: take what is
 			// available nearest the hint and keep going.
 			at, avail, ok = fs.anySpace(hint)
 			if !ok {
-				return nil, ErrNoSpace // unreachable given freeBlocks check
+				return buf, ErrNoSpace // unreachable given freeBlocks check
 			}
 			if avail < length {
 				length = avail
@@ -84,57 +112,45 @@ func (fs *FS) allocate(n int64, hint int64) ([]run, error) {
 		}
 		fs.carve(at, length)
 		fs.freeBlocks -= length
-		runs = append(runs, run{phys: at, len: length})
+		buf = append(buf, run{phys: at, len: length})
 		for b := at; b < at+length; b++ {
 			fs.refs[b] = 1
 		}
 		remaining -= length
 		hint = at + length
 	}
-	return runs, nil
+	return buf, nil
 }
 
 // findSpace locates space for n blocks at or after hint: first inside the
-// free extent spanning the hint, then the first later extent that fits,
-// wrapping to the device start if needed. Returns the allocation position
-// and the contiguous space available there.
+// free run spanning the hint, then the lowest-addressed later run that
+// fits, wrapping to the device start if needed. Returns the allocation
+// position and the contiguous space available there.
 func (fs *FS) findSpace(n, hint int64) (at, avail int64, ok bool) {
-	if s, l, found := fs.free.Floor(hint); found && s+l > hint && s+l-hint >= n {
+	if s, l, found := fs.free.runs.Floor(hint); found && s+l > hint && s+l-hint >= n {
 		return hint, s + l - hint, true
 	}
-	found := false
-	fs.free.Ascend(&hint, func(s, l int64) bool {
-		if l >= n {
-			at, avail, found = s, l, true
-			return false
-		}
-		return true
-	})
-	if !found && hint > 0 {
-		fs.free.Ascend(nil, func(s, l int64) bool {
-			if s >= hint {
-				return false
-			}
-			if l >= n {
-				at, avail, found = s, l, true
-				return false
-			}
-			return true
-		})
+	if at, avail, found := fs.free.findFit(n, hint, int64(1)<<62); found {
+		return at, avail, true
 	}
-	return at, avail, found
+	if hint > 0 {
+		if at, avail, found := fs.free.findFit(n, 0, hint); found {
+			return at, avail, true
+		}
+	}
+	return 0, 0, false
 }
 
 // anySpace returns the free space nearest at/after hint (inside a spanning
-// extent, at a following extent, or wrapping to the lowest extent).
+// run, at a following run, or wrapping to the lowest run).
 func (fs *FS) anySpace(hint int64) (at, avail int64, ok bool) {
-	if s, l, found := fs.free.Floor(hint); found && s+l > hint {
+	if s, l, found := fs.free.runs.Floor(hint); found && s+l > hint {
 		return hint, s + l - hint, true
 	}
-	if s, l, found := fs.free.Ceiling(hint); found {
+	if s, l, found := fs.free.runs.Ceiling(hint); found {
 		return s, l, true
 	}
-	if s, l, found := fs.free.Min(); found {
+	if s, l, found := fs.free.runs.Min(); found {
 		return s, l, true
 	}
 	return 0, 0, false
@@ -154,7 +170,7 @@ func (fs *FS) deref(b int64) {
 	}
 	fs.csums[b] = 0
 	fs.rev[b] = revEntry{}
-	delete(fs.corrupt, b)
+	fs.corrupt.Unset(uint64(b))
 	fs.insertFree(b, 1)
 	fs.freeBlocks++
 }

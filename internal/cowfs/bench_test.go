@@ -1,0 +1,135 @@
+package cowfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// cowCycle pushes one file through the full data path: COW overwrite
+// (splice out old extents, allocate new ones), writeback, cache drop,
+// and a device read of everything back. Steady state must not allocate:
+// run buffers, miss staging, writeback staging, free-index nodes, and
+// bitmap chunks all recycle through their pools.
+func cowCycle(p *sim.Proc, v *env, ino Ino) {
+	const pages = 32
+	if err := v.fs.Write(p, ino, 0, pages); err != nil {
+		panic(err)
+	}
+	if err := v.cache.SyncFile(p, v.fs.ID(), uint64(ino)); err != nil {
+		panic(err)
+	}
+	v.cache.RemoveFile(v.fs.ID(), uint64(ino))
+	if _, err := v.fs.ReadCount(p, ino, 0, pages, storage.ClassNormal, "bench"); err != nil {
+		panic(err)
+	}
+	v.cache.RemoveFile(v.fs.ID(), uint64(ino))
+}
+
+// BenchmarkWriteOverwriteRead measures the write → writeback → read
+// cycle that dominates every cowfs experiment.
+func BenchmarkWriteOverwriteRead(b *testing.B) {
+	v := newEnv(4096)
+	f, err := v.fs.Create("/f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.e.Go("bench", func(p *sim.Proc) {
+		defer v.e.Stop()
+		for i := 0; i < 64; i++ {
+			cowCycle(p, v, f.Ino)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cowCycle(p, v, f.Ino)
+		}
+	})
+	if err := v.e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// churn allocates a multi-block region at a random hint and frees it
+// block by block, exercising findFit, carve, and the merge paths of the
+// two-level free index under fragmentation.
+func churn(fs *FS, rng *rand.Rand, rb *runBuf) {
+	runs, err := fs.allocate(7, rng.Int63n(testBlocks), rb.runs[:0])
+	if err != nil {
+		panic(err)
+	}
+	rb.runs = runs
+	for _, r := range runs {
+		for blk := r.phys; blk < r.phys+r.len; blk++ {
+			fs.deref(blk)
+		}
+	}
+}
+
+// BenchmarkAllocateFreeChurn measures raw free-space index throughput:
+// allocate at a random hint, free block-by-block (worst case for run
+// merging). Node and chunk pools must make this allocation-free.
+func BenchmarkAllocateFreeChurn(b *testing.B) {
+	v := newEnv(64)
+	rng := rand.New(rand.NewSource(1))
+	rb := v.fs.getRunBuf()
+	for i := 0; i < 2048; i++ {
+		churn(v.fs, rng, rb)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn(v.fs, rng, rb)
+	}
+}
+
+// TestCowHotPathAllocFree is the CI regression gate for the paths above:
+// zero allocations per operation once pools are warm (see
+// .github/workflows/ci.yml).
+func TestCowHotPathAllocFree(t *testing.T) {
+	t.Run("write-sync-read", func(t *testing.T) {
+		v := newEnv(4096)
+		f, err := v.fs.Create("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var avg float64
+		v.e.Go("alloc-test", func(p *sim.Proc) {
+			defer v.e.Stop()
+			for i := 0; i < 64; i++ {
+				cowCycle(p, v, f.Ino)
+			}
+			avg = testing.AllocsPerRun(100, func() {
+				cowCycle(p, v, f.Ino)
+			})
+		})
+		if err := v.e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if avg != 0 {
+			t.Errorf("write/sync/read cycle allocates %.1f allocs/op, want 0", avg)
+		}
+		if err := v.fs.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("allocate-free", func(t *testing.T) {
+		v := newEnv(64)
+		rng := rand.New(rand.NewSource(1))
+		rb := v.fs.getRunBuf()
+		for i := 0; i < 2048; i++ {
+			churn(v.fs, rng, rb)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			churn(v.fs, rng, rb)
+		})
+		if avg != 0 {
+			t.Errorf("allocate/free churn allocates %.1f allocs/op, want 0", avg)
+		}
+		if err := v.fs.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	})
+}

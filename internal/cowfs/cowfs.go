@@ -23,8 +23,8 @@ import (
 	"sort"
 	"strings"
 
+	"duet/internal/bitmap"
 	"duet/internal/pagecache"
-	"duet/internal/rbtree"
 	"duet/internal/sim"
 	"duet/internal/storage"
 )
@@ -65,6 +65,12 @@ type Inode struct {
 	PageVers []uint64       // content version per page
 	Children map[string]Ino // directories only
 	Gen      uint64         // generation of last modification
+
+	// sortedNames caches the children's names in sorted order; valid when
+	// namesOK. Invalidated by dirAdd/dirRemove so repeated directory
+	// listings do not re-sort an unchanged directory.
+	sortedNames []string
+	namesOK     bool
 }
 
 // VFSHook observes namespace changes; Duet registers one to track files
@@ -97,17 +103,27 @@ type FS struct {
 	gen     uint64
 	nextVer uint64
 
-	free       *rbtree.Tree[int64, int64] // free extents: start -> length
+	free       *freeIndex // two-level free-space index (freeindex.go)
 	freeBlocks int64
-	refs       []int32  // per-block reference count
-	csums      []uint64 // per-block stored checksum
-	diskVer    []uint64 // per-block content version on the medium
+	refs       []int32        // per-block reference count
+	csums      []uint64       // per-block stored checksum
+	diskVer    []uint64       // per-block content version on the medium
 	rev        []revEntry
-	corrupt    map[int64]bool
+	corrupt    *bitmap.Sparse // blocks with injected silent corruption
 
 	hooks  []VFSHook
 	wbTags map[Ino]wbTag
 	stats  Stats
+
+	// Scratch storage for the allocation-free hot paths. freed is safe as
+	// a single buffer because spliceOut never blocks between filling and
+	// draining it; the run/miss/writeback buffers are pooled because their
+	// holders block on cache or device I/O, so several processes can be
+	// mid-operation in virtual time.
+	freed    []blkRange
+	runBufs  *runBuf
+	missBufs *missBuf
+	wbBufs   *wbBuf
 }
 
 // wbTag routes writeback I/O for an inode's dirty pages to a specific
@@ -136,15 +152,15 @@ func New(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.
 		cache:   cache,
 		inodes:  make(map[Ino]*Inode),
 		nextIno: RootIno + 1,
-		free:    rbtree.New[int64, int64](func(a, b int64) bool { return a < b }),
+		free:    newFreeIndex(),
 		refs:    make([]int32, nb),
 		csums:   make([]uint64, nb),
 		diskVer: make([]uint64, nb),
 		rev:     make([]revEntry, nb),
-		corrupt: make(map[int64]bool),
+		corrupt: bitmap.New(),
 		wbTags:  make(map[Ino]wbTag),
 	}
-	fs.free.Set(0, nb)
+	fs.free.add(0, nb)
 	fs.freeBlocks = nb
 	fs.inodes[RootIno] = &Inode{Ino: RootIno, Name: "/", Parent: RootIno, Dir: true, Children: map[string]Ino{}}
 	cache.RegisterFS(id, fs)
@@ -269,6 +285,21 @@ func (fs *FS) Within(ino, root Ino) (string, bool) {
 	}
 }
 
+// dirAdd links a child into a directory, invalidating its cached name
+// order. All namespace mutations go through dirAdd/dirRemove so the
+// ChildrenSorted cache can never go stale.
+func (fs *FS) dirAdd(dir *Inode, name string, child Ino) {
+	dir.Children[name] = child
+	dir.namesOK = false
+}
+
+// dirRemove unlinks a child from a directory, invalidating its cached
+// name order.
+func (fs *FS) dirRemove(dir *Inode, name string) {
+	delete(dir.Children, name)
+	dir.namesOK = false
+}
+
 func (fs *FS) newInode(name string, parent Ino, dir bool) *Inode {
 	ino := fs.nextIno
 	fs.nextIno++
@@ -299,7 +330,7 @@ func (fs *FS) create(path string, dir bool) (*Inode, error) {
 		return nil, fmt.Errorf("%w: %s", ErrExists, path)
 	}
 	i := fs.newInode(name, parent.Ino, dir)
-	parent.Children[name] = i.Ino
+	fs.dirAdd(parent, name, i.Ino)
 	fs.gen++
 	i.Gen = fs.gen
 	return i, nil
@@ -319,7 +350,7 @@ func (fs *FS) MkdirAll(path string) (*Inode, error) {
 		next, ok := cur.Children[name]
 		if !ok {
 			i := fs.newInode(name, cur.Ino, true)
-			cur.Children[name] = i.Ino
+			fs.dirAdd(cur, name, i.Ino)
 			cur = i
 			continue
 		}
@@ -332,15 +363,21 @@ func (fs *FS) MkdirAll(path string) (*Inode, error) {
 }
 
 // ChildrenSorted returns a directory's entries in name order
-// (deterministic iteration for tasks that traverse the namespace).
+// (deterministic iteration for tasks that traverse the namespace). The
+// sorted name order is cached on the directory inode and invalidated on
+// create/delete/rename, so repeated listings of a stable directory skip
+// the sort.
 func (fs *FS) ChildrenSorted(dir *Inode) []*Inode {
-	names := make([]string, 0, len(dir.Children))
-	for n := range dir.Children {
-		names = append(names, n)
+	if !dir.namesOK {
+		dir.sortedNames = dir.sortedNames[:0]
+		for n := range dir.Children {
+			dir.sortedNames = append(dir.sortedNames, n)
+		}
+		sort.Strings(dir.sortedNames)
+		dir.namesOK = true
 	}
-	sort.Strings(names)
-	out := make([]*Inode, 0, len(names))
-	for _, n := range names {
+	out := make([]*Inode, 0, len(dir.sortedNames))
+	for _, n := range dir.sortedNames {
 		out = append(out, fs.inodes[dir.Children[n]])
 	}
 	return out
@@ -409,10 +446,10 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 		}
 	}
 	oldParent := src.Parent
-	delete(fs.inodes[oldParent].Children, src.Name)
+	fs.dirRemove(fs.inodes[oldParent], src.Name)
 	src.Name = newName
 	src.Parent = dstParent.Ino
-	dstParent.Children[newName] = src.Ino
+	fs.dirAdd(dstParent, newName, src.Ino)
 	fs.gen++
 	src.Gen = fs.gen
 	for _, h := range fs.hooks {
@@ -444,7 +481,7 @@ func (fs *FS) deleteInode(i *Inode) error {
 		}
 	}
 	fs.cache.RemoveFile(fs.id, uint64(i.Ino))
-	delete(fs.inodes[i.Parent].Children, i.Name)
+	fs.dirRemove(fs.inodes[i.Parent], i.Name)
 	delete(fs.inodes, i.Ino)
 	delete(fs.wbTags, i.Ino)
 	fs.gen++

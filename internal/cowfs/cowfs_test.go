@@ -38,6 +38,11 @@ func (v *env) in(t *testing.T, fn func(p *sim.Proc)) {
 	if err := v.e.Run(); err != nil {
 		t.Fatal(err)
 	}
+	// Every test run leaves the accounting structures consistent: extent
+	// maps, refcounts, and the two-level free index must agree.
+	if err := v.fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestNamespace(t *testing.T) {
@@ -252,7 +257,7 @@ func TestVerifyAndRepair(t *testing.T) {
 			t.Errorf("after repair: %v, %v", did, err)
 		}
 		// Unallocated block: no I/O, no error.
-		free, _, _ := v.fs.free.Max()
+		free, _, _ := v.fs.free.runs.Max()
 		did, err = v.fs.VerifyBlock(p, free, storage.ClassIdle, "scrub")
 		if did || err != nil {
 			t.Errorf("unallocated verify = %v, %v", did, err)
@@ -639,7 +644,7 @@ func TestRefcountConservation(t *testing.T) {
 		}
 		// Free accounting: freeBlocks + allocated = device size.
 		var freeSum int64
-		v.fs.free.Ascend(nil, func(s, l int64) bool { freeSum += l; return true })
+		v.fs.free.runs.Ascend(nil, func(s, l int64) bool { freeSum += l; return true })
 		if freeSum != v.fs.FreeBlocks() {
 			t.Errorf("free tree sum %d != freeBlocks %d", freeSum, v.fs.FreeBlocks())
 		}
@@ -737,4 +742,73 @@ func TestOverwriteDuringReadKeepsFreshData(t *testing.T) {
 			}
 		}
 	})
+}
+
+func TestChildrenSortedCacheInvalidation(t *testing.T) {
+	// The sorted name order is cached on the directory inode; every
+	// create, delete, and rename must invalidate it. Interleave mutations
+	// with listings so a stale cache would surface as a wrong order.
+	v := newEnv(64)
+	dir, err := v.fs.MkdirAll("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := func() []string {
+		var out []string
+		for _, c := range v.fs.ChildrenSorted(dir) {
+			out = append(out, c.Name)
+		}
+		return out
+	}
+	want := func(exp ...string) {
+		t.Helper()
+		got := names()
+		if len(got) != len(exp) {
+			t.Fatalf("listing = %v, want %v", got, exp)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("listing = %v, want %v", got, exp)
+			}
+		}
+	}
+	mustCreate := func(p string) {
+		t.Helper()
+		if _, err := v.fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate("/d/c")
+	mustCreate("/d/a")
+	want("a", "c")
+	want("a", "c") // repeat listing: served from the cached order
+	mustCreate("/d/b")
+	want("a", "b", "c")
+	if err := v.fs.Delete("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	want("b", "c")
+	if err := v.fs.Rename("/d/c", "/d/z"); err != nil {
+		t.Fatal(err)
+	}
+	want("b", "z")
+	// Rename across directories invalidates both the source and the
+	// destination listing.
+	if _, err := v.fs.MkdirAll("/e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.fs.Rename("/d/z", "/e/z"); err != nil {
+		t.Fatal(err)
+	}
+	want("b")
+	eDir, err := v.fs.Lookup("/e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := v.fs.ChildrenSorted(eDir)
+	if len(kids) != 1 || kids[0].Name != "z" {
+		t.Fatalf("destination listing wrong: %v", kids)
+	}
+	mustCreate("/d/aa")
+	want("aa", "b")
 }

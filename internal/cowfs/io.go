@@ -1,7 +1,9 @@
 package cowfs
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"duet/internal/pagecache"
@@ -20,6 +22,63 @@ import (
 
 func (fs *FS) pageKey(ino Ino, idx int64) pagecache.PageKey {
 	return pagecache.PageKey{FS: fs.id, Ino: uint64(ino), Index: uint64(idx)}
+}
+
+// miss is a read-path staging record: a page that needs a device read.
+type miss struct {
+	idx, block int64
+	wantCsum   uint64
+}
+
+// missBuf is a pooled staging buffer for ReadCount.
+type missBuf struct {
+	m    []miss
+	next *missBuf
+}
+
+func (fs *FS) getMissBuf() *missBuf {
+	b := fs.missBufs
+	if b == nil {
+		return &missBuf{}
+	}
+	fs.missBufs = b.next
+	b.next = nil
+	b.m = b.m[:0]
+	return b
+}
+
+func (fs *FS) putMissBuf(b *missBuf) {
+	b.next = fs.missBufs
+	fs.missBufs = b
+}
+
+// wb is a writeback staging record: one dirty page and its target block.
+type wb struct {
+	idx   int64
+	block int64
+	ver   uint64
+}
+
+// wbBuf is a pooled staging buffer for WritebackPages.
+type wbBuf struct {
+	w    []wb
+	next *wbBuf
+}
+
+func (fs *FS) getWbBuf() *wbBuf {
+	b := fs.wbBufs
+	if b == nil {
+		return &wbBuf{}
+	}
+	fs.wbBufs = b.next
+	b.next = nil
+	b.w = b.w[:0]
+	return b
+}
+
+func (fs *FS) putWbBuf(b *wbBuf) {
+	b.next = fs.wbBufs
+	fs.wbBufs = b
 }
 
 // findExtent returns the extent covering logical page idx, if any.
@@ -54,34 +113,84 @@ func (fs *FS) Fibmap(ino Ino, idx int64) (int64, bool) {
 	return e.Phys + (idx - e.Logical), true
 }
 
+// blkRange is a run of physical blocks released by an extent splice.
+type blkRange struct {
+	phys int64
+	n    int64
+}
+
+// spliceExtents removes logical range [lo, hi) from exts in place: the
+// overlapped extents are replaced by at most two boundary fragments and
+// the tail is shifted down, so the slice's backing array is reused (it
+// grows only in the one case where a single extent splits into two
+// fragments). Released physical ranges are appended to freed in ascending
+// extent order. The function is pure over its inputs — no FS state — so
+// the fuzz and property tests can drive it against a reference model.
+func spliceExtents(exts []Extent, lo, hi int64, freed []blkRange) ([]Extent, []blkRange) {
+	if lo >= hi || len(exts) == 0 {
+		return exts, freed
+	}
+	// a: first extent ending after lo; b: first extent starting at/after hi.
+	// [a, b) is the contiguous overlapped range (extents are Logical-sorted).
+	a := sort.Search(len(exts), func(k int) bool { return exts[k].Logical+exts[k].Len > lo })
+	b := sort.Search(len(exts), func(k int) bool { return exts[k].Logical >= hi })
+	if a >= b {
+		return exts, freed
+	}
+	var left, right Extent
+	hasLeft, hasRight := false, false
+	if e := exts[a]; e.Logical < lo {
+		left = Extent{Logical: e.Logical, Phys: e.Phys, Len: lo - e.Logical, Gen: e.Gen}
+		hasLeft = true
+	}
+	if e := exts[b-1]; e.Logical+e.Len > hi {
+		right = Extent{Logical: hi, Phys: e.Phys + (hi - e.Logical), Len: e.Logical + e.Len - hi, Gen: e.Gen}
+		hasRight = true
+	}
+	for k := a; k < b; k++ {
+		e := exts[k]
+		cutLo, cutHi := max64(e.Logical, lo), min64(e.Logical+e.Len, hi)
+		freed = append(freed, blkRange{phys: e.Phys + (cutLo - e.Logical), n: cutHi - cutLo})
+	}
+	nkeep := 0
+	if hasLeft {
+		nkeep++
+	}
+	if hasRight {
+		nkeep++
+	}
+	if nkeep <= b-a {
+		at := a
+		if hasLeft {
+			exts[at] = left
+			at++
+		}
+		if hasRight {
+			exts[at] = right
+			at++
+		}
+		n := copy(exts[at:], exts[b:])
+		exts = exts[:at+n]
+	} else {
+		// One extent splits into two fragments: grow by one slot.
+		exts = append(exts, Extent{})
+		copy(exts[b+1:], exts[b:])
+		exts[a], exts[a+1] = left, right
+	}
+	return exts, freed
+}
+
 // spliceOut removes logical range [lo, hi) from the inode's extent map,
-// dereferencing the covered blocks and splitting boundary extents.
+// dereferencing the covered blocks and splitting boundary extents. The
+// freed scratch is a plain FS field (not pooled): nothing between filling
+// and draining it blocks, so no other process can observe it.
 func (fs *FS) spliceOut(i *Inode, lo, hi int64) {
-	var out []Extent
-	for _, e := range i.Extents {
-		eEnd := e.Logical + e.Len
-		if eEnd <= lo || e.Logical >= hi {
-			out = append(out, e)
-			continue
-		}
-		// Overlap: keep the left fragment, deref the middle, keep right.
-		cutLo, cutHi := max64(e.Logical, lo), min64(eEnd, hi)
-		if e.Logical < cutLo {
-			out = append(out, Extent{Logical: e.Logical, Phys: e.Phys, Len: cutLo - e.Logical, Gen: e.Gen})
-		}
-		for b := e.Phys + (cutLo - e.Logical); b < e.Phys+(cutHi-e.Logical); b++ {
+	i.Extents, fs.freed = spliceExtents(i.Extents, lo, hi, fs.freed[:0])
+	for _, r := range fs.freed {
+		for b := r.phys; b < r.phys+r.n; b++ {
 			fs.deref(b)
 		}
-		if eEnd > cutHi {
-			out = append(out, Extent{
-				Logical: cutHi,
-				Phys:    e.Phys + (cutHi - e.Logical),
-				Len:     eEnd - cutHi,
-				Gen:     e.Gen,
-			})
-		}
 	}
-	i.Extents = out
 }
 
 // insertExtent adds an extent keeping the slice sorted by Logical and
@@ -159,7 +268,10 @@ func (fs *FS) Write(p *sim.Proc, ino Ino, off, n int64) error {
 		last := i.Extents[len(i.Extents)-1]
 		hint = last.Phys + last.Len
 	}
-	runs, err := fs.allocate(n, hint)
+	rb := fs.getRunBuf()
+	defer fs.putRunBuf(rb)
+	runs, err := fs.allocate(n, hint, rb.runs)
+	rb.runs = runs
 	if err != nil {
 		return err
 	}
@@ -232,12 +344,12 @@ func (fs *FS) ReadCount(p *sim.Proc, ino Ino, off, n int64, class storage.Class,
 
 	// Collect misses as (idx, block) pairs — remembering the checksum the
 	// block is expected to verify against — then coalesce into physically
-	// contiguous device reads.
-	type miss struct {
-		idx, block int64
-		wantCsum   uint64
-	}
-	var misses []miss
+	// contiguous device reads. The staging buffer comes from a pool: the
+	// process blocks on the device below, so other readers can be staging
+	// concurrently in virtual time.
+	mb := fs.getMissBuf()
+	defer fs.putMissBuf(mb)
+	misses := mb.m
 	for idx := off; idx < off+n; idx++ {
 		if fs.cache.Contains(fs.pageKey(ino, idx)) {
 			fs.cache.Lookup(fs.pageKey(ino, idx)) // LRU touch + hit accounting
@@ -250,6 +362,7 @@ func (fs *FS) ReadCount(p *sim.Proc, ino Ino, off, n int64, class storage.Class,
 		}
 		misses = append(misses, miss{idx: idx, block: b, wantCsum: fs.csums[b]})
 	}
+	mb.m = misses
 	missed := int64(len(misses))
 	fs.stats.MissPages += missed
 
@@ -320,13 +433,12 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 		class, owner = tag.class, tag.owner
 	}
 	// Capture (block, version) pairs now; apply to the medium after the
-	// I/O completes, skipping pages remapped mid-flight.
-	type wb struct {
-		idx   int64
-		block int64
-		ver   uint64
-	}
-	var pages []wb
+	// I/O completes, skipping pages remapped mid-flight. The staging
+	// buffer is pooled: this process blocks on device writes, and the
+	// flusher and eviction paths can both be in writeback at once.
+	wbuf := fs.getWbBuf()
+	defer fs.putWbBuf(wbuf)
+	pages := wbuf.w
 	for _, idxU := range indices {
 		idx := int64(idxU)
 		b, mapped := fs.Fibmap(ino, idx)
@@ -335,7 +447,8 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 		}
 		pages = append(pages, wb{idx: idx, block: b, ver: i.PageVers[idx]})
 	}
-	sort.Slice(pages, func(a, b int) bool { return pages[a].block < pages[b].block })
+	wbuf.w = pages
+	slices.SortFunc(pages, func(a, b wb) int { return cmp.Compare(a.block, b.block) })
 	for s := 0; s < len(pages); {
 		e := s + 1
 		for e < len(pages) && pages[e].block == pages[e-1].block+1 {
@@ -377,7 +490,7 @@ func (fs *FS) Sync(p *sim.Proc) { fs.cache.Sync(p) }
 // CorruptBlock silently corrupts the on-medium content of a block, as a
 // latent error would (failure injection for the scrubber).
 func (fs *FS) CorruptBlock(b int64) {
-	fs.corrupt[b] = true
+	fs.corrupt.Set(uint64(b))
 	fs.diskVer[b] ^= 0xdeadbeef
 }
 
@@ -470,7 +583,7 @@ func (fs *FS) RepairBlock(p *sim.Proc, b int64, class storage.Class, owner strin
 		return nil
 	}
 	fs.disk.RepairBlock(b)
-	delete(fs.corrupt, b)
+	fs.corrupt.Unset(uint64(b))
 	// Restore the version whose checksum is stored. We recover it from
 	// the owning file's extent map.
 	ino, idx, ok := fs.blockOwner(b)

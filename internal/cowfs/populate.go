@@ -35,7 +35,10 @@ func (fs *FS) PopulateFile(path string, sizePg int64, wantExtents int, rng *rand
 	i.PageVers = make([]uint64, sizePg)
 
 	// Split the size into wantExtents pieces and allocate each at a
-	// random hint so the pieces scatter across the device.
+	// random hint so the pieces scatter across the device. PopulateFile
+	// never blocks, so one run buffer serves every piece.
+	rb := fs.getRunBuf()
+	defer fs.putRunBuf(rb)
 	per := sizePg / int64(wantExtents)
 	logical := int64(0)
 	for part := 0; part < wantExtents; part++ {
@@ -50,7 +53,8 @@ func (fs *FS) PopulateFile(path string, sizePg int64, wantExtents int, rng *rand
 		if wantExtents > 1 {
 			hint = rng.Int63n(fs.disk.Blocks())
 		}
-		runs, err := fs.allocate(n, hint)
+		runs, err := fs.allocate(n, hint, rb.runs[:0])
+		rb.runs = runs
 		if err != nil {
 			return nil, fmt.Errorf("cowfs: populate %s: %w", path, err)
 		}

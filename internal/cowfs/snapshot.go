@@ -62,7 +62,7 @@ func (fs *FS) CreateSnapshot(p *sim.Proc, srcPath, dstPath string) (*Snapshot, e
 	clone = func(liveDir, snapDir *Inode) {
 		for _, c := range fs.ChildrenSorted(liveDir) {
 			n := fs.newInode(c.Name, snapDir.Ino, c.Dir)
-			snapDir.Children[c.Name] = n.Ino
+			fs.dirAdd(snapDir, c.Name, n.Ino)
 			snap.LiveToSnap[c.Ino] = n.Ino
 			if c.Dir {
 				clone(c, n)
@@ -167,7 +167,10 @@ func (fs *FS) DefragFile(p *sim.Proc, ino Ino, class storage.Class, owner string
 	fs.gen++
 	i.Gen = fs.gen
 	fs.spliceOut(i, 0, i.SizePg)
-	runs, err := fs.allocate(i.SizePg, 0)
+	rb := fs.getRunBuf()
+	defer fs.putRunBuf(rb)
+	runs, err := fs.allocate(i.SizePg, 0, rb.runs)
+	rb.runs = runs
 	if err != nil {
 		return res, err
 	}

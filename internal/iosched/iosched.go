@@ -23,6 +23,44 @@ const DefaultIdleGrace = 2 * sim.Millisecond
 // a disproportionate share of device time.
 const DefaultIdleSliceTime = 200 * sim.Millisecond
 
+// queue is a FIFO of requests backed by one reusable slice. Popping
+// advances a head index instead of re-slicing the base away, and the
+// slice rewinds to the front whenever the queue drains — so steady
+// traffic recycles a single backing array instead of forcing append to
+// reallocate on every enqueue (the drained q = q[1:] slice has no spare
+// capacity at its new base).
+type queue struct {
+	buf  []*storage.Request
+	head int
+}
+
+func (q *queue) push(r *storage.Request) {
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.buf = append(q.buf, r)
+}
+
+func (q *queue) pop() *storage.Request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return r
+}
+
+// length is nil-safe so callers can probe map entries that may not exist.
+func (q *queue) length() int {
+	if q == nil {
+		return 0
+	}
+	return len(q.buf) - q.head
+}
+
 // CFQ dispatches normal-class requests FIFO and idle-class requests only
 // when no normal request is pending and the device has seen no
 // normal-class completion for the grace period. Once idle I/O gets a
@@ -32,9 +70,9 @@ type CFQ struct {
 	IdleGrace     sim.Time
 	IdleSliceTime sim.Time
 
-	normal     []*storage.Request
+	normal     queue
 	idleOwners []string // round-robin order of owners with queues
-	idleQ      map[string][]*storage.Request
+	idleQ      map[string]*queue
 	idleLen    int
 	curOwner   string
 	sliceStart sim.Time
@@ -50,7 +88,7 @@ func NewCFQ() *CFQ {
 	return &CFQ{
 		IdleGrace:     DefaultIdleGrace,
 		IdleSliceTime: DefaultIdleSliceTime,
-		idleQ:         map[string][]*storage.Request{},
+		idleQ:         map[string]*queue{},
 		sliceStart:    -1,
 	}
 }
@@ -61,13 +99,16 @@ func (s *CFQ) Name() string { return "cfq" }
 // Add implements storage.Scheduler.
 func (s *CFQ) Add(r *storage.Request) {
 	if r.Class != storage.ClassIdle {
-		s.normal = append(s.normal, r)
+		s.normal.push(r)
 		return
 	}
-	if _, ok := s.idleQ[r.Owner]; !ok {
+	q, ok := s.idleQ[r.Owner]
+	if !ok {
 		s.idleOwners = append(s.idleOwners, r.Owner)
+		q = &queue{}
+		s.idleQ[r.Owner] = q
 	}
-	s.idleQ[r.Owner] = append(s.idleQ[r.Owner], r)
+	q.push(r)
 	s.idleLen++
 }
 
@@ -77,11 +118,10 @@ func (s *CFQ) Add(r *storage.Request) {
 // slice rotates when it expires or anticipation times out.
 func (s *CFQ) popIdle(now sim.Time) (*storage.Request, sim.Time) {
 	expired := s.sliceStart < 0 || now-s.sliceStart >= s.IdleSliceTime
-	if q := s.idleQ[s.curOwner]; len(q) > 0 && !expired {
+	if q := s.idleQ[s.curOwner]; q.length() > 0 && !expired {
 		s.anticipateUntil = 0
-		s.idleQ[s.curOwner] = q[1:]
 		s.idleLen--
-		return q[0], 0
+		return q.pop(), 0
 	}
 	if !expired && s.curOwner != "" {
 		// Anticipate the owner's next synchronous request for up to the
@@ -96,7 +136,7 @@ func (s *CFQ) popIdle(now sim.Time) (*storage.Request, sim.Time) {
 	// Rotate to the next owner with pending requests.
 	s.anticipateUntil = 0
 	for i, o := range s.idleOwners {
-		if len(s.idleQ[o]) > 0 && (o != s.curOwner || len(s.idleOwners) == 1) {
+		if s.idleQ[o].length() > 0 && (o != s.curOwner || len(s.idleOwners) == 1) {
 			s.idleOwners = append(s.idleOwners[i+1:], s.idleOwners[:i+1]...)
 			s.curOwner = o
 			s.sliceStart = now
@@ -104,31 +144,27 @@ func (s *CFQ) popIdle(now sim.Time) (*storage.Request, sim.Time) {
 		}
 	}
 	q := s.idleQ[s.curOwner]
-	if len(q) == 0 {
+	if q.length() == 0 {
 		// Only the current owner has requests (or rotation found none).
 		for _, o := range s.idleOwners {
-			if len(s.idleQ[o]) > 0 {
+			if s.idleQ[o].length() > 0 {
 				s.curOwner, s.sliceStart = o, now
 				q = s.idleQ[o]
 				break
 			}
 		}
 	}
-	if len(q) == 0 {
+	if q.length() == 0 {
 		return nil, 0
 	}
-	r := q[0]
-	s.idleQ[s.curOwner] = q[1:]
 	s.idleLen--
-	return r, 0
+	return q.pop(), 0
 }
 
 // Dispatch implements storage.Scheduler.
 func (s *CFQ) Dispatch(now, lastNormal sim.Time) (*storage.Request, sim.Time) {
-	if len(s.normal) > 0 {
-		r := s.normal[0]
-		s.normal = s.normal[1:]
-		return r, 0
+	if s.normal.length() > 0 {
+		return s.normal.pop(), 0
 	}
 	if s.idleLen > 0 {
 		eligible := lastNormal + s.IdleGrace
@@ -141,7 +177,7 @@ func (s *CFQ) Dispatch(now, lastNormal sim.Time) (*storage.Request, sim.Time) {
 }
 
 // Pending implements storage.Scheduler.
-func (s *CFQ) Pending() int { return len(s.normal) + s.idleLen }
+func (s *CFQ) Pending() int { return s.normal.length() + s.idleLen }
 
 // Deadline ignores priority classes entirely (the property §6.5 exercises:
 // "the Linux Deadline I/O scheduler ... does not allow prioritizing
@@ -149,8 +185,8 @@ func (s *CFQ) Pending() int { return len(s.normal) + s.idleLen }
 // real deadline scheduler, but maintenance and workload I/O compete as
 // equals.
 type Deadline struct {
-	reads  []*storage.Request
-	writes []*storage.Request
+	reads  queue
+	writes queue
 	// starve bounds how many reads may pass a queued write, mirroring
 	// deadline's writes_starved tunable.
 	starve int
@@ -167,40 +203,34 @@ func (s *Deadline) Name() string { return "deadline" }
 // Add implements storage.Scheduler.
 func (s *Deadline) Add(r *storage.Request) {
 	if r.Write {
-		s.writes = append(s.writes, r)
+		s.writes.push(r)
 	} else {
-		s.reads = append(s.reads, r)
+		s.reads.push(r)
 	}
 }
 
 // Dispatch implements storage.Scheduler.
 func (s *Deadline) Dispatch(_, _ sim.Time) (*storage.Request, sim.Time) {
-	if len(s.reads) > 0 && (len(s.writes) == 0 || s.passed < s.starve) {
-		r := s.reads[0]
-		s.reads = s.reads[1:]
+	if s.reads.length() > 0 && (s.writes.length() == 0 || s.passed < s.starve) {
 		s.passed++
-		return r, 0
+		return s.reads.pop(), 0
 	}
-	if len(s.writes) > 0 {
-		r := s.writes[0]
-		s.writes = s.writes[1:]
+	if s.writes.length() > 0 {
 		s.passed = 0
-		return r, 0
+		return s.writes.pop(), 0
 	}
-	if len(s.reads) > 0 {
-		r := s.reads[0]
-		s.reads = s.reads[1:]
-		return r, 0
+	if s.reads.length() > 0 {
+		return s.reads.pop(), 0
 	}
 	return nil, 0
 }
 
 // Pending implements storage.Scheduler.
-func (s *Deadline) Pending() int { return len(s.reads) + len(s.writes) }
+func (s *Deadline) Pending() int { return s.reads.length() + s.writes.length() }
 
 // FIFO services requests strictly in arrival order (Linux noop).
 type FIFO struct {
-	q []*storage.Request
+	q queue
 }
 
 // NewFIFO returns a FIFO scheduler.
@@ -210,20 +240,18 @@ func NewFIFO() *FIFO { return &FIFO{} }
 func (s *FIFO) Name() string { return "noop" }
 
 // Add implements storage.Scheduler.
-func (s *FIFO) Add(r *storage.Request) { s.q = append(s.q, r) }
+func (s *FIFO) Add(r *storage.Request) { s.q.push(r) }
 
 // Dispatch implements storage.Scheduler.
 func (s *FIFO) Dispatch(_, _ sim.Time) (*storage.Request, sim.Time) {
-	if len(s.q) == 0 {
+	if s.q.length() == 0 {
 		return nil, 0
 	}
-	r := s.q[0]
-	s.q = s.q[1:]
-	return r, 0
+	return s.q.pop(), 0
 }
 
 // Pending implements storage.Scheduler.
-func (s *FIFO) Pending() int { return len(s.q) }
+func (s *FIFO) Pending() int { return s.q.length() }
 
 // ByName constructs a scheduler from its name; it returns nil for unknown
 // names.

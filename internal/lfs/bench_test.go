@@ -1,0 +1,144 @@
+package lfs
+
+import (
+	"testing"
+
+	"duet/internal/sim"
+)
+
+// lfsCycle overwrites a fixed page range and syncs: writeback appends to
+// the log, invalidates the previous copies (moving segments between
+// valid-count buckets), and frees fully-invalidated segments — the
+// steady-state churn of every GC experiment. It must not allocate once
+// the staging pools and segment bitmaps are warm.
+func lfsCycle(p *sim.Proc, v *env, ino Ino) {
+	const pages = 4 * testSegBlocks
+	if err := v.fs.Write(p, ino, 0, pages); err != nil {
+		panic(err)
+	}
+	v.fs.Sync(p)
+}
+
+// BenchmarkWritebackChurn measures the log-append + invalidate cycle.
+func BenchmarkWritebackChurn(b *testing.B) {
+	v := newEnv(1024)
+	f, err := v.fs.Create("f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.e.Go("bench", func(p *sim.Proc) {
+		defer v.e.Stop()
+		for i := 0; i < 64; i++ {
+			lfsCycle(p, v, f.Ino)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lfsCycle(p, v, f.Ino)
+		}
+	})
+	if err := v.e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// gcEnv builds a filesystem whose segments have a spread of valid counts:
+// a large file fills most segments, then every third page of the front
+// half is overwritten so those segments land in different valid-count
+// buckets.
+func gcEnv(t testing.TB) (*env, *GC) {
+	v := newEnv(1024)
+	f, err := v.fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.in2(t, func(p *sim.Proc) {
+		const pages = 24 * testSegBlocks
+		if err := v.fs.Write(p, f.Ino, 0, pages); err != nil {
+			t.Error(err)
+			return
+		}
+		v.fs.Sync(p)
+		for idx := int64(0); idx < 12*testSegBlocks; idx += 3 {
+			if err := v.fs.Write(p, f.Ino, idx, 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		v.fs.Sync(p)
+	})
+	g := &GC{fs: v.fs, cfg: GCConfig{
+		WindowSegs:   4096,
+		MaxValidFrac: 0.95,
+		Cost:         BaselineCost,
+		Owner:        "gc",
+	}}
+	return v, g
+}
+
+// in2 is env.in for benchmarks as well as tests.
+func (v *env) in2(t testing.TB, fn func(p *sim.Proc)) {
+	v.e.Go("setup", func(p *sim.Proc) {
+		defer v.e.Stop()
+		fn(p)
+	})
+	if err := v.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGCVictimPick measures victim selection over the valid-count
+// buckets. The pass must touch only cleanable candidates and never
+// allocate.
+func BenchmarkGCVictimPick(b *testing.B) {
+	_, g := gcEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.cursor = 0
+		if _, ok := g.pickVictim(); !ok {
+			b.Fatal("no victim found")
+		}
+	}
+}
+
+// TestLfsHotPathAllocFree is the CI regression gate: zero allocations
+// per writeback cycle and per victim pick once pools are warm (see
+// .github/workflows/ci.yml).
+func TestLfsHotPathAllocFree(t *testing.T) {
+	t.Run("writeback-churn", func(t *testing.T) {
+		v := newEnv(1024)
+		f, err := v.fs.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var avg float64
+		v.e.Go("alloc-test", func(p *sim.Proc) {
+			defer v.e.Stop()
+			for i := 0; i < 64; i++ {
+				lfsCycle(p, v, f.Ino)
+			}
+			avg = testing.AllocsPerRun(100, func() {
+				lfsCycle(p, v, f.Ino)
+			})
+		})
+		if err := v.e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if avg != 0 {
+			t.Errorf("writeback churn allocates %.1f allocs/op, want 0", avg)
+		}
+	})
+	t.Run("victim-pick", func(t *testing.T) {
+		_, g := gcEnv(t)
+		avg := testing.AllocsPerRun(200, func() {
+			g.cursor = 0
+			if _, ok := g.pickVictim(); !ok {
+				t.Fatal("no victim found")
+			}
+		})
+		if avg != 0 {
+			t.Errorf("victim pick allocates %.1f allocs/op, want 0", avg)
+		}
+	})
+}

@@ -1,7 +1,7 @@
 package lfs
 
 import (
-	"sort"
+	"slices"
 
 	"duet/internal/sim"
 	"duet/internal/storage"
@@ -90,6 +90,18 @@ type GC struct {
 	// times are computed from these).
 	Records []CleanRecord
 	stopped bool
+
+	// Scratch reused across cleans. One cleaner process per GC handle, so
+	// plain fields are safe even though clean blocks on device I/O.
+	all    []gcMove
+	toRead []gcMove
+	inos   []Ino
+}
+
+type gcMove struct {
+	ino   Ino
+	idx   int64
+	block int64
 }
 
 // StartGC launches the cleaner process and returns its handle.
@@ -137,28 +149,39 @@ func (g *GC) deviceIdle(p *sim.Proc) bool {
 	return d.QueueDepth() == 0 && p.Now()-d.LastNormalCompletion() >= g.cfg.IdleAfter
 }
 
-// pickVictim scans a window of segments from the cursor and returns the
-// minimum-cost cleanable one.
+// pickVictim returns the minimum-cost cleanable segment within the
+// cursor's window. Candidates come from the valid-count buckets, so the
+// pass walks only SegFull segments with 1..maxValid valid blocks instead
+// of scoring every segment slot in the window. Ties on cost go to the
+// segment closest to the cursor, which is exactly what the old linear
+// scan's keep-first rule selected.
 func (g *GC) pickVictim() (int, bool) {
 	n := g.fs.Segments()
 	window := g.cfg.WindowSegs
 	if window > n {
 		window = n
 	}
-	best, bestCost := -1, 0.0
+	best, bestCost, bestPos := -1, 0.0, 0
 	maxValid := int(float64(g.fs.cfg.SegBlocks) * g.cfg.MaxValidFrac)
-	for k := 0; k < window; k++ {
-		si := (g.cursor + k) % n
-		seg := g.fs.segs[si]
-		if seg.State != SegFull || seg.Valid == 0 || seg.Valid > maxValid {
-			continue
-		}
-		c := g.cfg.Cost(g.fs, si)
-		if c < 0 {
-			continue
-		}
-		if best == -1 || c < bestCost {
-			best, bestCost = si, c
+	if maxValid > g.fs.cfg.SegBlocks {
+		maxValid = g.fs.cfg.SegBlocks
+	}
+	for v := 1; v <= maxValid; v++ {
+		for si := g.fs.validBkt[v]; si >= 0; si = g.fs.segs[si].bktNext {
+			pos := int(si) - g.cursor
+			if pos < 0 {
+				pos += n
+			}
+			if pos >= window {
+				continue
+			}
+			c := g.cfg.Cost(g.fs, int(si))
+			if c < 0 {
+				continue
+			}
+			if best == -1 || c < bestCost || (c == bestCost && pos < bestPos) {
+				best, bestCost, bestPos = int(si), c, pos
+			}
 		}
 	}
 	g.cursor = (g.cursor + window) % n
@@ -177,19 +200,14 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 	start := p.Now()
 	rec := CleanRecord{Start: start, SegIdx: si, Urgent: urgent}
 
-	type move struct {
-		ino   Ino
-		idx   int64
-		block int64
-	}
-	var toRead []move
-	var all []move
+	all := g.all[:0]
+	toRead := g.toRead[:0]
 	base := int64(si * fs.cfg.SegBlocks)
 	for k, s := range seg.slots {
 		if !s.valid {
 			continue
 		}
-		m := move{ino: s.ino, idx: s.idx, block: base + int64(k)}
+		m := gcMove{ino: s.ino, idx: s.idx, block: base + int64(k)}
 		all = append(all, m)
 		if fs.cache.Contains(fs.pageKey(s.ino, s.idx)) {
 			rec.BlocksCached++
@@ -197,9 +215,9 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 			toRead = append(toRead, m)
 		}
 	}
-	// Read the missing blocks (contiguous within the segment, so this
-	// coalesces well).
-	sort.Slice(toRead, func(a, b int) bool { return toRead[a].block < toRead[b].block })
+	g.all, g.toRead = all, toRead
+	// Read the missing blocks. The slot walk emits them in ascending block
+	// order already, so runs within the segment coalesce without a sort.
 	for s := 0; s < len(toRead); {
 		e := s + 1
 		for e < len(toRead) && toRead[e].block == toRead[e-1].block+1 {
@@ -241,18 +259,20 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 	if urgent {
 		// Under pressure, push the migrated data out immediately so the
 		// segment frees up; background cleaning leaves it to the flusher.
-		seen := map[Ino]bool{}
+		// Sort-and-skip-duplicates yields the same ascending unique inode
+		// order the old map-plus-sort produced, without the map.
+		inos := g.inos[:0]
 		for _, m := range all {
-			if !seen[m.ino] {
-				seen[m.ino] = true
-			}
+			inos = append(inos, m.ino)
 		}
-		inos := make([]Ino, 0, len(seen))
-		for ino := range seen {
-			inos = append(inos, ino)
-		}
-		sort.Slice(inos, func(a, b int) bool { return inos[a] < inos[b] })
+		slices.Sort(inos)
+		g.inos = inos
+		prev := Ino(0) // inode 0 is never allocated
 		for _, ino := range inos {
+			if ino == prev {
+				continue
+			}
+			prev = ino
 			_ = fs.cache.SyncFile(p, fs.id, uint64(ino))
 		}
 	}

@@ -15,10 +15,13 @@
 package lfs
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
+	"duet/internal/bitmap"
 	"duet/internal/pagecache"
 	"duet/internal/sim"
 	"duet/internal/storage"
@@ -62,6 +65,12 @@ type Segment struct {
 	Valid int      // number of valid blocks
 	Mtime sim.Time // time of last append (the "age" input to victim cost)
 	slots []slotInfo
+
+	// bktNext/bktPrev link SegFull segments into the valid-count bucket
+	// for their current Valid value (-1 terminates). The buckets let the
+	// cleaner enumerate cleanable candidates without scanning every
+	// segment.
+	bktNext, bktPrev int32
 }
 
 // Inode is a (flat-namespace) file.
@@ -112,12 +121,25 @@ type FS struct {
 	nextIno Ino
 
 	segs     []*Segment
-	freeSegs []int // free segment indices, ascending
-	curSeg   int   // open log segment (-1 if none)
-	curOff   int   // next slot in the open segment
+	freeSegs *bitmap.Sparse // free segment indices
+	curSeg   int            // open log segment (-1 if none)
+	curOff   int            // next slot in the open segment
+
+	// validBkt[v] heads an intrusive list of SegFull segments with Valid
+	// == v, maintained incrementally on every block invalidation and
+	// placement so GC victim selection only touches actual candidates.
+	validBkt []int32
+	// partial marks SegFull segments with at least one invalid slot —
+	// the candidates for degraded in-place writes.
+	partial *bitmap.Sparse
 
 	diskVer []uint64 // content version on the medium, per block
 	stats   Stats
+
+	// Pooled staging buffers for the read and writeback paths (holders
+	// block on device I/O, so several can be live in virtual time).
+	missBufs   *missBuf
+	placedBufs *placedBuf
 }
 
 // New creates a log-structured filesystem spanning the device.
@@ -139,12 +161,105 @@ func New(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.
 		curSeg:  -1,
 		diskVer: make([]uint64, disk.Blocks()),
 	}
+	fs.freeSegs = bitmap.New()
+	fs.partial = bitmap.New()
+	fs.validBkt = make([]int32, cfg.SegBlocks+1)
+	for v := range fs.validBkt {
+		fs.validBkt[v] = -1
+	}
 	for i := range fs.segs {
-		fs.segs[i] = &Segment{State: SegFree, slots: make([]slotInfo, cfg.SegBlocks)}
-		fs.freeSegs = append(fs.freeSegs, i)
+		fs.segs[i] = &Segment{State: SegFree, slots: make([]slotInfo, cfg.SegBlocks), bktNext: -1, bktPrev: -1}
+		fs.freeSegs.Set(uint64(i))
 	}
 	cache.RegisterFS(id, fs)
 	return fs
+}
+
+// bucketAdd links a SegFull segment into the valid-count bucket for its
+// current Valid value and updates the in-place candidate set.
+func (fs *FS) bucketAdd(si int) {
+	seg := fs.segs[si]
+	v := seg.Valid
+	seg.bktPrev = -1
+	seg.bktNext = fs.validBkt[v]
+	if seg.bktNext >= 0 {
+		fs.segs[seg.bktNext].bktPrev = int32(si)
+	}
+	fs.validBkt[v] = int32(si)
+	if v < fs.cfg.SegBlocks {
+		fs.partial.Set(uint64(si))
+	} else {
+		fs.partial.Unset(uint64(si))
+	}
+}
+
+// bucketRemove unlinks a SegFull segment from the bucket for value v (its
+// Valid count at link time).
+func (fs *FS) bucketRemove(si, v int) {
+	seg := fs.segs[si]
+	if seg.bktPrev >= 0 {
+		fs.segs[seg.bktPrev].bktNext = seg.bktNext
+	} else {
+		fs.validBkt[v] = seg.bktNext
+	}
+	if seg.bktNext >= 0 {
+		fs.segs[seg.bktNext].bktPrev = seg.bktPrev
+	}
+	seg.bktNext, seg.bktPrev = -1, -1
+}
+
+// miss and placed are the staging entries of the read and writeback
+// paths. Their backing slices live in small free lists on the FS: a
+// holder blocks on device I/O mid-use, so a single scratch slice would
+// be clobbered by the next process entering the same path in virtual
+// time. The lists grow to the maximum concurrency ever seen and are
+// reused forever after.
+type miss struct{ idx, block int64 }
+
+type missBuf struct {
+	m    []miss
+	next *missBuf
+}
+
+func (fs *FS) getMissBuf() *missBuf {
+	if b := fs.missBufs; b != nil {
+		fs.missBufs = b.next
+		b.next = nil
+		b.m = b.m[:0]
+		return b
+	}
+	return &missBuf{}
+}
+
+func (fs *FS) putMissBuf(b *missBuf) {
+	b.next = fs.missBufs
+	fs.missBufs = b
+}
+
+type placed struct {
+	idx   int64
+	block int64
+	ver   uint64
+}
+
+type placedBuf struct {
+	p    []placed
+	next *placedBuf
+}
+
+func (fs *FS) getPlacedBuf() *placedBuf {
+	if b := fs.placedBufs; b != nil {
+		fs.placedBufs = b.next
+		b.next = nil
+		b.p = b.p[:0]
+		return b
+	}
+	return &placedBuf{}
+}
+
+func (fs *FS) putPlacedBuf(b *placedBuf) {
+	b.next = fs.placedBufs
+	fs.placedBufs = b
 }
 
 // ID returns the page-cache filesystem identifier.
@@ -169,7 +284,7 @@ func (fs *FS) Segments() int { return len(fs.segs) }
 func (fs *FS) Segment(i int) *Segment { return fs.segs[i] }
 
 // FreeSegments returns the count of free segments.
-func (fs *FS) FreeSegments() int { return len(fs.freeSegs) }
+func (fs *FS) FreeSegments() int { return int(fs.freeSegs.Count()) }
 
 // SegOf maps a device block to its segment index.
 func (fs *FS) SegOf(block int64) int { return int(block) / fs.cfg.SegBlocks }
@@ -307,8 +422,9 @@ func (fs *FS) Read(p *sim.Proc, ino Ino, off, n int64, class storage.Class, owne
 		return nil
 	}
 	fs.stats.ReadsPages += n
-	type miss struct{ idx, block int64 }
-	var misses []miss
+	mb := fs.getMissBuf()
+	defer fs.putMissBuf(mb)
+	misses := mb.m
 	for idx := off; idx < off+n; idx++ {
 		key := fs.pageKey(ino, idx)
 		if fs.cache.Contains(key) {
@@ -322,8 +438,9 @@ func (fs *FS) Read(p *sim.Proc, ino Ino, off, n int64, class storage.Class, owne
 		}
 		misses = append(misses, miss{idx, b})
 	}
+	mb.m = misses
 	fs.stats.MissPages += int64(len(misses))
-	sort.Slice(misses, func(a, b int) bool { return misses[a].block < misses[b].block })
+	slices.SortFunc(misses, func(a, b miss) int { return cmp.Compare(a.block, b.block) })
 	for s := 0; s < len(misses); {
 		e := s + 1
 		for e < len(misses) && misses[e].block == misses[e-1].block+1 {
@@ -350,7 +467,8 @@ func (fs *FS) ReadFile(p *sim.Proc, ino Ino, class storage.Class, owner string) 
 }
 
 // invalidate marks a block's slot invalid, freeing the segment when it
-// empties.
+// empties. Full segments are moved between valid-count buckets so the
+// cleaner's candidate view stays current without any scanning.
 func (fs *FS) invalidate(b int64) {
 	si := fs.SegOf(b)
 	seg := fs.segs[si]
@@ -359,10 +477,18 @@ func (fs *FS) invalidate(b int64) {
 		return
 	}
 	slot.valid = false
+	full := seg.State == SegFull
+	if full {
+		fs.bucketRemove(si, seg.Valid)
+	}
 	seg.Valid--
 	fs.stats.Invalidations++
-	if seg.Valid == 0 && seg.State == SegFull {
-		fs.freeSegment(si)
+	if full {
+		if seg.Valid == 0 {
+			fs.freeSegment(si)
+		} else {
+			fs.bucketAdd(si)
+		}
 	}
 }
 
@@ -372,23 +498,22 @@ func (fs *FS) freeSegment(si int) {
 	for k := range seg.slots {
 		seg.slots[k] = slotInfo{}
 	}
-	pos := sort.SearchInts(fs.freeSegs, si)
-	fs.freeSegs = append(fs.freeSegs, 0)
-	copy(fs.freeSegs[pos+1:], fs.freeSegs[pos:])
-	fs.freeSegs[pos] = si
+	fs.freeSegs.Set(uint64(si))
+	fs.partial.Unset(uint64(si))
 	fs.stats.SegsFreed++
 }
 
-// openSegment makes a free segment the log head. It returns false when no
-// free segment exists (the caller falls back to in-place writes).
+// openSegment makes the lowest-numbered free segment the log head. It
+// returns false when no free segment exists (the caller falls back to
+// in-place writes).
 func (fs *FS) openSegment() bool {
-	if len(fs.freeSegs) == 0 {
+	si, ok := fs.freeSegs.NextSet(0)
+	if !ok {
 		return false
 	}
-	si := fs.freeSegs[0]
-	fs.freeSegs = fs.freeSegs[1:]
+	fs.freeSegs.Unset(si)
 	fs.segs[si].State = SegOpen
-	fs.curSeg = si
+	fs.curSeg = int(si)
 	fs.curOff = 0
 	return true
 }
@@ -402,6 +527,8 @@ func (fs *FS) logAlloc() int64 {
 			seg.State = SegFull
 			if seg.Valid == 0 {
 				fs.freeSegment(fs.curSeg)
+			} else {
+				fs.bucketAdd(fs.curSeg)
 			}
 			fs.curSeg = -1
 		}
@@ -416,20 +543,22 @@ func (fs *FS) logAlloc() int64 {
 
 // inPlaceAlloc finds an invalid slot in some non-free segment — the
 // degraded mode F2fs enters when clean segments run out, which the paper
-// measured as a 57% latency increase (§6.2).
+// measured as a 57% latency increase (§6.2). The partial bitmap points
+// straight at the lowest-numbered full segment with a hole, replacing the
+// full-device scan.
 func (fs *FS) inPlaceAlloc() int64 {
-	for si, seg := range fs.segs {
-		if seg.State != SegFull {
-			continue
-		}
-		for k, s := range seg.slots {
-			if !s.valid {
-				fs.stats.InPlaceWrites++
-				return int64(si*fs.cfg.SegBlocks + k)
-			}
+	si64, ok := fs.partial.NextSet(0)
+	if !ok {
+		return NoBlock
+	}
+	si := int(si64)
+	for k, s := range fs.segs[si].slots {
+		if !s.valid {
+			fs.stats.InPlaceWrites++
+			return int64(si*fs.cfg.SegBlocks + k)
 		}
 	}
-	return NoBlock
+	panic("lfs: partial segment with no invalid slot")
 }
 
 // WritebackPages implements pagecache.Backend: dirty pages are appended
@@ -441,12 +570,9 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 	if !ok {
 		return nil // deleted while dirty
 	}
-	type placed struct {
-		idx   int64
-		block int64
-		ver   uint64
-	}
-	var out []placed
+	pb := fs.getPlacedBuf()
+	defer fs.putPlacedBuf(pb)
+	out := pb.p
 	for _, idxU := range indices {
 		idx := int64(idxU)
 		if idx >= int64(len(i.blocks)) {
@@ -460,19 +586,28 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 			return fmt.Errorf("%w: writeback of inode %d", ErrNoSpace, ino)
 		}
 		old := i.blocks[idx]
-		seg := fs.segs[fs.SegOf(b)]
+		si := fs.SegOf(b)
+		seg := fs.segs[si]
+		full := seg.State == SegFull // in-place placement into a full segment
+		if full {
+			fs.bucketRemove(si, seg.Valid)
+		}
 		seg.slots[int(b)%fs.cfg.SegBlocks] = slotInfo{ino: ino, idx: idx, valid: true}
 		seg.Valid++
 		seg.Mtime = fs.eng.Now()
+		if full {
+			fs.bucketAdd(si)
+		}
 		i.blocks[idx] = b
 		if old != NoBlock {
 			fs.invalidate(old)
 		}
 		out = append(out, placed{idx: idx, block: b, ver: i.vers[idx]})
 	}
+	pb.p = out
 	// Device writes: coalesce physically contiguous placements (log
 	// appends are naturally sequential; in-place writes are scattered).
-	sort.Slice(out, func(a, b int) bool { return out[a].block < out[b].block })
+	slices.SortFunc(out, func(a, b placed) int { return cmp.Compare(a.block, b.block) })
 	for s := 0; s < len(out); {
 		e := s + 1
 		for e < len(out) && out[e].block == out[e-1].block+1 {

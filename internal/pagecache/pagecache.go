@@ -264,9 +264,9 @@ type wbBatch struct {
 type Cache struct {
 	eng      *sim.Engine
 	cfg      Config
-	pages    map[PageKey]*Page
+	pages    pageTab
 	dirty    *rbtree.Tree[PageKey, *Page]
-	files    map[FileKey]*fileList
+	files    fileTab
 	backends map[FSID]Backend
 	hooks    []Hook
 	interest uint8 // union of hook event interest; emit skips masked-out types
@@ -299,9 +299,7 @@ func New(e *sim.Engine, cfg Config) *Cache {
 	c := &Cache{
 		eng:      e,
 		cfg:      cfg,
-		pages:    make(map[PageKey]*Page),
 		dirty:    rbtree.New[PageKey, *Page](keyLess),
-		files:    make(map[FileKey]*fileList),
 		backends: make(map[FSID]Backend),
 	}
 	c.flusherKick = sim.NewWaitQueue(e)
@@ -316,7 +314,7 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() *Stats { return &c.stats }
 
 // Len returns the number of cached pages.
-func (c *Cache) Len() int { return len(c.pages) }
+func (c *Cache) Len() int { return c.pages.len() }
 
 // DirtyLen returns the number of dirty pages.
 func (c *Cache) DirtyLen() int { return c.dirty.Len() }
@@ -433,10 +431,10 @@ func (c *Cache) newFileList() *fileList {
 // scans from the tail, so sequential workloads link in O(1).
 func (c *Cache) fileInsert(pg *Page) {
 	fk := FileKey{pg.Key.FS, pg.Key.Ino}
-	fl := c.files[fk]
+	fl := c.files.get(fk)
 	if fl == nil {
 		fl = c.newFileList()
-		c.files[fk] = fl
+		c.files.put(fk, fl)
 	}
 	fl.n++
 	at := fl.tail
@@ -469,7 +467,7 @@ func (c *Cache) fileInsert(pg *Page) {
 // empties.
 func (c *Cache) fileRemove(pg *Page) {
 	fk := FileKey{pg.Key.FS, pg.Key.Ino}
-	fl := c.files[fk]
+	fl := c.files.get(fk)
 	if fl == nil {
 		return
 	}
@@ -486,7 +484,7 @@ func (c *Cache) fileRemove(pg *Page) {
 	pg.filePrev, pg.fileNext = nil, nil
 	fl.n--
 	if fl.n == 0 {
-		delete(c.files, fk)
+		c.files.del(fk)
 		fl.nextFree = c.flFree
 		c.flFree = fl
 	}
@@ -516,7 +514,7 @@ func (c *Cache) putBatch(b *wbBatch) {
 
 // Lookup returns the page if cached, promoting it in the LRU.
 func (c *Cache) Lookup(key PageKey) (*Page, bool) {
-	pg, ok := c.pages[key]
+	pg, ok := c.pages.get(key)
 	if !ok {
 		c.stats.Misses++
 		return nil, false
@@ -528,13 +526,12 @@ func (c *Cache) Lookup(key PageKey) (*Page, bool) {
 
 // Peek returns the page if cached without perturbing the LRU or stats.
 func (c *Cache) Peek(key PageKey) (*Page, bool) {
-	pg, ok := c.pages[key]
-	return pg, ok
+	return c.pages.get(key)
 }
 
 // Contains reports whether the page is cached, without LRU effects.
 func (c *Cache) Contains(key PageKey) bool {
-	_, ok := c.pages[key]
+	_, ok := c.pages.get(key)
 	return ok
 }
 
@@ -543,7 +540,7 @@ func (c *Cache) Contains(key PageKey) bool {
 // and returned unchanged. Insert may block (eviction of a dirty page
 // forces a synchronous writeback), so it needs the calling process.
 func (c *Cache) Insert(p *sim.Proc, key PageKey, version uint64) *Page {
-	if pg, ok := c.pages[key]; ok {
+	if pg, ok := c.pages.get(key); ok {
 		c.lruMoveToFront(pg)
 		return pg
 	}
@@ -553,7 +550,7 @@ func (c *Cache) Insert(p *sim.Proc, key PageKey, version uint64) *Page {
 	pg.Version = version
 	pg.resident = true
 	c.lruPushFront(pg)
-	c.pages[key] = pg
+	c.pages.put(key, pg)
 	c.fileInsert(pg)
 	c.stats.Inserts++
 	c.emit(EventAdded, pg)
@@ -562,7 +559,7 @@ func (c *Cache) Insert(p *sim.Proc, key PageKey, version uint64) *Page {
 
 // makeRoom evicts pages until there is room for one more.
 func (c *Cache) makeRoom(p *sim.Proc) {
-	for len(c.pages) >= c.cfg.CapacityPages {
+	for c.pages.len() >= c.cfg.CapacityPages {
 		victim := c.pickVictim()
 		if victim == nil {
 			// The reclaim window is all dirty: write back the coldest
@@ -644,8 +641,8 @@ func (c *Cache) writebackOne(p *sim.Proc, pg *Page) {
 // race, the fresh page is left fully intact (the map delete is guarded),
 // so a raced double-eviction can never orphan a live page.
 func (c *Cache) removePage(pg *Page, ev EventType) {
-	if cur, ok := c.pages[pg.Key]; ok && cur == pg {
-		delete(c.pages, pg.Key)
+	if cur, ok := c.pages.get(pg.Key); ok && cur == pg {
+		c.pages.del(pg.Key)
 	}
 	if pg.resident {
 		c.lruRemove(pg)
@@ -683,7 +680,7 @@ func (c *Cache) MarkDirty(pg *Page, version uint64) {
 // markCleanIf clears the dirty bit if the page is still at the version the
 // writeback captured, firing Flushed. Re-dirtied pages stay dirty.
 func (c *Cache) markCleanIf(key PageKey, version uint64) {
-	pg, ok := c.pages[key]
+	pg, ok := c.pages.get(key)
 	if !ok || !pg.Dirty || pg.Version != version {
 		return
 	}
@@ -696,7 +693,7 @@ func (c *Cache) markCleanIf(key PageKey, version uint64) {
 // Dirty pages are discarded without writeback, matching truncate
 // semantics.
 func (c *Cache) Remove(key PageKey) bool {
-	pg, ok := c.pages[key]
+	pg, ok := c.pages.get(key)
 	if !ok {
 		return false
 	}
@@ -706,7 +703,7 @@ func (c *Cache) Remove(key PageKey) bool {
 
 // RemoveFile drops every cached page of a file (deletion).
 func (c *Cache) RemoveFile(fs FSID, ino uint64) int {
-	fl := c.files[FileKey{fs, ino}]
+	fl := c.files.get(FileKey{fs, ino})
 	if fl == nil {
 		return 0
 	}
@@ -723,7 +720,7 @@ func (c *Cache) RemoveFile(fs FSID, ino uint64) int {
 
 // FilePages returns the number of cached pages of a file.
 func (c *Cache) FilePages(fs FSID, ino uint64) int {
-	if fl := c.files[FileKey{fs, ino}]; fl != nil {
+	if fl := c.files.get(FileKey{fs, ino}); fl != nil {
 		return fl.n
 	}
 	return 0
@@ -733,7 +730,7 @@ func (c *Cache) FilePages(fs FSID, ino uint64) int {
 // without allocating. fn may remove the page it was handed, but must not
 // otherwise insert or remove pages of the same file during iteration.
 func (c *Cache) IterateFile(fs FSID, ino uint64, fn func(pg *Page) bool) {
-	fl := c.files[FileKey{fs, ino}]
+	fl := c.files.get(FileKey{fs, ino})
 	if fl == nil {
 		return
 	}
@@ -749,19 +746,16 @@ func (c *Cache) IterateFile(fs FSID, ino uint64, fn func(pg *Page) bool) {
 // Iterate calls fn for every cached page in key order (used by Duet's
 // registration scan). It snapshots keys first, so fn may mutate the cache.
 func (c *Cache) Iterate(fn func(pg *Page) bool) {
-	fks := make([]FileKey, 0, len(c.files))
-	for fk := range c.files {
-		fks = append(fks, fk)
-	}
+	fks := c.files.appendKeys(make([]FileKey, 0, c.files.len()))
 	sort.Slice(fks, func(i, j int) bool { return fileKeyLess(fks[i], fks[j]) })
-	keys := make([]PageKey, 0, len(c.pages))
+	keys := make([]PageKey, 0, c.pages.len())
 	for _, fk := range fks {
-		for pg := c.files[fk].head; pg != nil; pg = pg.fileNext {
+		for pg := c.files.get(fk).head; pg != nil; pg = pg.fileNext {
 			keys = append(keys, pg.Key)
 		}
 	}
 	for _, k := range keys {
-		if pg, ok := c.pages[k]; ok {
+		if pg, ok := c.pages.get(k); ok {
 			if !fn(pg) {
 				return
 			}
@@ -771,7 +765,7 @@ func (c *Cache) Iterate(fn func(pg *Page) bool) {
 
 // SyncFile writes back all dirty pages of one file immediately.
 func (c *Cache) SyncFile(p *sim.Proc, fs FSID, ino uint64) error {
-	fl := c.files[FileKey{fs, ino}]
+	fl := c.files.get(FileKey{fs, ino})
 	if fl == nil {
 		return nil
 	}

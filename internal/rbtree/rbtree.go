@@ -302,6 +302,25 @@ func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 	return fixUp(h)
 }
 
+// Reset removes every entry, releasing all nodes into the internal free
+// list so a subsequent refill of similar size does not allocate. Values
+// held by the tree are zeroed (as release does), so they do not pin
+// garbage while parked on the free list.
+func (t *Tree[K, V]) Reset() {
+	t.resetSubtree(t.root)
+	t.root = nil
+	t.size = 0
+}
+
+func (t *Tree[K, V]) resetSubtree(n *node[K, V]) {
+	if n == nil {
+		return
+	}
+	t.resetSubtree(n.left)
+	t.resetSubtree(n.right)
+	t.release(n)
+}
+
 // Ascend visits entries in increasing key order starting from the smallest
 // key >= from (or the minimum if from is nil), until fn returns false.
 func (t *Tree[K, V]) Ascend(from *K, fn func(key K, val V) bool) {

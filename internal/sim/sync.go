@@ -81,6 +81,20 @@ func (f *Future[T]) Complete(v T, err error) {
 // Done reports whether the future has been completed.
 func (f *Future[T]) Done() bool { return f.done }
 
+// Reset returns a completed future to the incomplete state so the holder
+// can reuse it for another round trip instead of allocating a new one.
+// Resetting while processes still wait on the future would strand them,
+// so that is a panic.
+func (f *Future[T]) Reset() {
+	if f.q.Len() != 0 {
+		panic("sim: Future reset with processes waiting")
+	}
+	var zero T
+	f.done = false
+	f.val = zero
+	f.err = nil
+}
+
 // Wait blocks until the future completes and returns its value and error.
 func (f *Future[T]) Wait(p *Proc) (T, error) {
 	for !f.done {

@@ -60,6 +60,7 @@ type Request struct {
 
 	submitted sim.Time
 	done      *sim.Future[struct{}]
+	nextFree  *Request // free-list link while recycled (see Disk.getRequest)
 }
 
 // Model describes the performance characteristics of a device.
@@ -140,6 +141,7 @@ type Disk struct {
 	kick       *sim.WaitQueue
 	badBlocks  map[int64]bool
 	inFlight   *Request
+	reqFree    *Request // recycled requests for the blocking Read/Write wrappers
 }
 
 // NewDisk creates a disk and starts its executor process on e.
@@ -217,14 +219,17 @@ func (d *Disk) RepairBlock(block int64) { delete(d.badBlocks, block) }
 // SubmitAsync enqueues a request and returns a future that completes when
 // it is serviced. The future's error is non-nil on read failures.
 func (d *Disk) SubmitAsync(r *Request) *sim.Future[struct{}] {
+	// A recycled request carries its (reset) future; a caller-built one
+	// gets a fresh future here.
+	if r.done == nil {
+		r.done = sim.NewFuture[struct{}](d.eng)
+	}
 	if r.Count <= 0 || r.Block < 0 || r.Block+int64(r.Count) > d.model.Blocks() {
-		f := sim.NewFuture[struct{}](d.eng)
-		f.Complete(struct{}{}, fmt.Errorf("%w: block %d count %d on %q (%d blocks)",
+		r.done.Complete(struct{}{}, fmt.Errorf("%w: block %d count %d on %q (%d blocks)",
 			ErrOutOfRange, r.Block, r.Count, d.Name, d.model.Blocks()))
-		return f
+		return r.done
 	}
 	r.submitted = d.eng.Now()
-	r.done = sim.NewFuture[struct{}](d.eng)
 	d.sched.Add(r)
 	d.kick.WakeOne()
 	return r.done
@@ -238,14 +243,42 @@ func (d *Disk) Submit(p *sim.Proc, r *Request) error {
 	return err
 }
 
+// getRequest takes a request (with an attached, reset future) from the
+// free list. The blocking wrappers below are the only users: once Submit
+// returns, nothing else references the request, so it can be recycled.
+// Requests built by SubmitAsync callers are never pooled.
+func (d *Disk) getRequest() *Request {
+	r := d.reqFree
+	if r == nil {
+		return &Request{}
+	}
+	d.reqFree = r.nextFree
+	r.nextFree = nil
+	r.done.Reset()
+	return r
+}
+
+func (d *Disk) putRequest(r *Request) {
+	r.nextFree = d.reqFree
+	d.reqFree = r
+}
+
 // Read issues a blocking read of count blocks at block.
 func (d *Disk) Read(p *sim.Proc, block int64, count int, class Class, owner string) error {
-	return d.Submit(p, &Request{Block: block, Count: count, Class: class, Owner: owner})
+	r := d.getRequest()
+	r.Block, r.Count, r.Write, r.Class, r.Owner = block, count, false, class, owner
+	err := d.Submit(p, r)
+	d.putRequest(r)
+	return err
 }
 
 // Write issues a blocking write of count blocks at block.
 func (d *Disk) Write(p *sim.Proc, block int64, count int, class Class, owner string) error {
-	return d.Submit(p, &Request{Block: block, Count: count, Write: true, Class: class, Owner: owner})
+	r := d.getRequest()
+	r.Block, r.Count, r.Write, r.Class, r.Owner = block, count, true, class, owner
+	err := d.Submit(p, r)
+	d.putRequest(r)
+	return err
 }
 
 // run is the executor process: it pulls requests from the scheduler and
