@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"duet/internal/experiments"
+	"duet/internal/machine"
 )
 
 // benchRecord is one experiment's entry in the BENCH json.
@@ -49,6 +50,9 @@ type benchFile struct {
 	Experiments  []benchRecord `json:"experiments"`
 	TotalSeconds float64       `json:"total_seconds"`
 	TotalCells   int64         `json:"total_cells"`
+	// Robustness aggregates the fault-injection sweep's counters (absent
+	// when the faults experiment did not run).
+	Robustness *machine.Robustness `json:"robustness,omitempty"`
 }
 
 func main() {
@@ -152,6 +156,7 @@ func main() {
 	}
 	bench.TotalSeconds = time.Since(totalStart).Seconds()
 	bench.TotalCells = experiments.CellsRun()
+	bench.Robustness = experiments.RobustnessSummary()
 
 	if *benchOut != "-" {
 		path := *benchOut

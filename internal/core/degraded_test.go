@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// A session whose bounded queue overflows turns lossy and reports a
+// conservative ID range covering the dropped notifications — the
+// degraded-mode contract tasks compensate through (re-scanning the
+// range instead of trusting their event-derived bookkeeping).
+func TestDegradedSessionReportsDropRange(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 16)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		s.MaxItems = 4
+		if s.Degraded() {
+			t.Fatal("fresh session already degraded")
+		}
+		if _, _, ok := s.TakeDegradedRange(); ok {
+			t.Fatal("non-degraded session returned a range")
+		}
+
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if s.Dropped == 0 {
+			t.Fatal("no drops; test setup broken")
+		}
+		if !s.Degraded() {
+			t.Fatal("session with drops not degraded")
+		}
+		if got := v.d.Stats().DegradedSessions; got != 1 {
+			t.Errorf("DegradedSessions = %d, want 1", got)
+		}
+
+		lo, hi, ok := s.TakeDegradedRange()
+		if !ok {
+			t.Fatal("degraded session returned no range")
+		}
+		if lo > hi {
+			t.Fatalf("inverted range [%d, %d]", lo, hi)
+		}
+		// The range must cover every dropped block: drops happen after the
+		// first MaxItems enqueues, so collect the file's mapped blocks and
+		// check the dropped tail is inside [lo, hi].
+		var min, max uint64
+		first := true
+		for i := int64(0); i < f.SizePg; i++ {
+			blk, mapped := v.fs.Fibmap(f.Ino, i)
+			if !mapped {
+				continue
+			}
+			b := uint64(blk)
+			if first || b < min {
+				min = b
+			}
+			if first || b > max {
+				max = b
+			}
+			first = false
+		}
+		if lo < min || hi > max {
+			t.Errorf("range [%d, %d] outside the file's blocks [%d, %d]", lo, hi, min, max)
+		}
+
+		// Take consumes: the session is trusted again until the next drop.
+		if s.Degraded() {
+			t.Error("session still degraded after TakeDegradedRange")
+		}
+		if _, _, ok := s.TakeDegradedRange(); ok {
+			t.Error("second take returned a range")
+		}
+
+		// A fresh overflow re-enters degraded mode and counts again.
+		v.cache.RemoveFile(1, uint64(f.Ino))
+		drain(s)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Degraded() {
+			t.Error("second overflow did not degrade")
+		}
+		if got := v.d.Stats().DegradedSessions; got != 2 {
+			t.Errorf("DegradedSessions = %d, want 2", got)
+		}
+	})
+}
+
+// Sessions whose queues never overflow stay trusted.
+func TestUndroppedSessionStaysTrusted(t *testing.T) {
+	v := newEnv(256)
+	f := v.mustPopulate(t, "/f", 16)
+	v.in(t, func(p *sim.Proc) {
+		s, _ := v.d.RegisterBlock(v.ad, EvtAdded)
+		if err := v.fs.ReadFile(p, f.Ino, storage.ClassNormal, "w"); err != nil {
+			t.Fatal(err)
+		}
+		drain(s)
+		if s.Degraded() || s.Dropped != 0 {
+			t.Errorf("lossless session degraded (dropped %d)", s.Dropped)
+		}
+		if got := v.d.Stats().DegradedSessions; got != 0 {
+			t.Errorf("DegradedSessions = %d, want 0", got)
+		}
+	})
+}

@@ -112,10 +112,13 @@ type Stats struct {
 	FetchNanos    int64 // real CPU nanoseconds spent in Fetch
 	ItemsFetched  int64
 	EventsDropped int64 // dropped due to per-session descriptor limits
-	DescAllocs    int64
-	DescFrees     int64
-	CurDescs      int64
-	PeakDescs     int64
+	// DegradedSessions counts sessions that entered lossy (degraded)
+	// mode because their bounded fetch queue overflowed.
+	DegradedSessions int64
+	DescAllocs       int64
+	DescFrees        int64
+	CurDescs         int64
+	PeakDescs        int64
 }
 
 // Duet is the framework instance for one machine. It implements

@@ -60,6 +60,19 @@ type Session struct {
 	SuppressedDone int64
 	// Dropped counts events discarded due to MaxItems.
 	Dropped int64
+
+	// Degraded mode: once the bounded queue overflows the session is
+	// lossy — notifications were discarded, so its event stream no longer
+	// covers every change. The session records a conservative ID range
+	// (blocks for block tasks, inodes for file tasks) covering everything
+	// it dropped; the task fetches it with TakeDegradedRange and falls
+	// back to scanning that range in its normal order. This keeps the
+	// denial-of-service bound of §4.2 without silently losing work.
+	lossy  bool
+	degSet bool   // a concrete [degLo, degHi] range has been recorded
+	degAll bool   // a drop could not be located: the whole ID space is suspect
+	degLo  uint64 // lowest dropped ID (inclusive)
+	degHi  uint64 // highest dropped ID (inclusive)
 }
 
 func (d *Duet) newSession(kind taskKind, fs FSAdapter, root uint64, mask Mask) (*Session, error) {
@@ -262,9 +275,11 @@ func (s *Session) enqueue(desc *itemDesc) {
 	}
 	if s.QueueLen() >= s.MaxItems {
 		// Drop: discard pending info but keep state truth, pretending it
-		// was reported (the task simply misses this change).
+		// was reported. The session turns lossy and records where the
+		// loss happened so the task can re-scan (degraded-mode protocol).
 		s.Dropped++
 		s.d.stats.EventsDropped++
+		s.noteDrop(desc)
 		f := desc.flags[s.id]
 		f &= ^uint8(fEventBits)
 		cur := (f >> curShift) & twoStateBit
@@ -275,6 +290,65 @@ func (s *Session) enqueue(desc *itemDesc) {
 	}
 	desc.queued |= bit
 	s.queue = append(s.queue, desc)
+}
+
+// noteDrop records a queue-overflow drop for the degraded-mode protocol,
+// widening the suspect ID range to cover the dropped notification.
+func (s *Session) noteDrop(desc *itemDesc) {
+	if !s.lossy {
+		s.lossy = true
+		s.d.stats.DegradedSessions++
+	}
+	var id uint64
+	if s.kind == blockTask {
+		blk, mapped := s.fs.Fibmap(desc.key.ino, desc.key.idx)
+		if !mapped {
+			// Delayed allocation: the page will land at an unknown block,
+			// so no finite range covers the loss.
+			s.degAll = true
+			return
+		}
+		id = uint64(blk)
+	} else {
+		id = desc.key.ino
+	}
+	if s.degAll {
+		return
+	}
+	if !s.degSet {
+		s.degSet = true
+		s.degLo, s.degHi = id, id
+		return
+	}
+	if id < s.degLo {
+		s.degLo = id
+	}
+	if id > s.degHi {
+		s.degHi = id
+	}
+}
+
+// Degraded reports whether the session has dropped notifications since
+// the last TakeDegradedRange.
+func (s *Session) Degraded() bool { return s.lossy }
+
+// TakeDegradedRange consumes the degraded state, returning the inclusive
+// ID range the task must re-scan to compensate for dropped
+// notifications. For block tasks the range is in device blocks; for file
+// tasks, in inode numbers. When a drop could not be attributed to a
+// finite range the whole ID space is returned. ok is false when the
+// session is not degraded.
+func (s *Session) TakeDegradedRange() (lo, hi uint64, ok bool) {
+	if !s.lossy {
+		return 0, 0, false
+	}
+	if s.degAll {
+		lo, hi = 0, ^uint64(0)
+	} else {
+		lo, hi = s.degLo, s.degHi
+	}
+	s.lossy, s.degSet, s.degAll, s.degLo, s.degHi = false, false, false, 0, 0
+	return lo, hi, true
 }
 
 // FetchInto retrieves pending notifications into buf, returning how many

@@ -159,7 +159,11 @@ func (fs *FS) anySpace(hint int64) (at, avail int64, ok bool) {
 // ref increments a block's reference count (snapshot sharing).
 func (fs *FS) ref(b int64) { fs.refs[b]++ }
 
-// deref decrements a block's reference count, freeing it at zero.
+// deref decrements a block's reference count, freeing it at zero. With
+// durability enabled the free is deferred to the next commit instead:
+// the last checkpoint may still reference the block, so handing it to
+// the allocator before the checkpoint moves on would let an overwrite
+// destroy committed data (see durable.go).
 func (fs *FS) deref(b int64) {
 	fs.refs[b]--
 	if fs.refs[b] > 0 {
@@ -167,6 +171,10 @@ func (fs *FS) deref(b int64) {
 	}
 	if fs.refs[b] < 0 {
 		panic("cowfs: negative block refcount")
+	}
+	if fs.durable != nil {
+		fs.deferFree(b)
+		return
 	}
 	fs.csums[b] = 0
 	fs.rev[b] = revEntry{}

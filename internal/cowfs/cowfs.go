@@ -86,9 +86,11 @@ type Stats struct {
 	MissPages       int64 // pages that required device reads
 	WritesPages     int64
 	WritebackPages  int64
+	WritebackErrors int64 // writeback device errors (partial or total)
 	Corruptions     int64 // checksum failures detected on read
 	ScrubErrors     int64 // checksum failures detected by VerifyBlock
 	CowReallocation int64 // blocks re-allocated due to snapshot sharing
+	Commits         int64 // successful durability barriers (durable.go)
 }
 
 // FS is a simulated copy-on-write filesystem on one device.
@@ -105,15 +107,22 @@ type FS struct {
 
 	free       *freeIndex // two-level free-space index (freeindex.go)
 	freeBlocks int64
-	refs       []int32        // per-block reference count
-	csums      []uint64       // per-block stored checksum
-	diskVer    []uint64       // per-block content version on the medium
+	refs       []int32  // per-block reference count
+	csums      []uint64 // per-block stored checksum
+	diskVer    []uint64 // per-block content version on the medium
 	rev        []revEntry
 	corrupt    *bitmap.Sparse // blocks with injected silent corruption
 
 	hooks  []VFSHook
 	wbTags map[Ino]wbTag
 	stats  Stats
+
+	// Durability state (nil/empty until EnableDurability; see durable.go).
+	durable      *checkpoint
+	deferredFree []int64 // zero-ref blocks held until the next commit
+	cpMark       []bool  // scratch: blocks referenced by the checkpoint
+	markScratch  []int64
+	quarScratch  []pagecache.PageKey
 
 	// Scratch storage for the allocation-free hot paths. freed is safe as
 	// a single buffer because spliceOut never blocks between filling and

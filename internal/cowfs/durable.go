@@ -1,0 +1,350 @@
+package cowfs
+
+import (
+	"fmt"
+	"sort"
+
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Crash-consistent durability. A checkpoint is the COW transaction
+// boundary: Commit flushes dirty data, snapshots the metadata of every
+// fully-clean file, and only then releases blocks freed since the
+// previous checkpoint back to the allocator. Deferring those frees is
+// what makes the checkpoint crash-consistent — a block the last
+// checkpoint references can never be reallocated (and therefore never
+// overwritten) before the next checkpoint lands, exactly the rule
+// Btrfs's transaction machinery enforces. A power cut at any instant
+// then loses only unacknowledged (post-commit) updates: Remount
+// rebuilds the filesystem from the checkpoint plus the untouched
+// medium, and must pass CheckInvariants and a full checksum scrub.
+//
+// Durability is opt-in (EnableDurability): without it deref frees
+// blocks immediately and behavior is bit-for-bit the historical one.
+
+// cpFile is one file's committed metadata.
+type cpFile struct {
+	ino      Ino
+	name     string
+	parent   Ino
+	dir      bool
+	sizePg   int64
+	gen      uint64
+	extents  []Extent
+	pageVers []uint64
+	children map[string]Ino
+}
+
+// checkpoint is the durable metadata image.
+type checkpoint struct {
+	gen     uint64
+	nextIno Ino
+	nextVer uint64
+	files   map[Ino]*cpFile
+}
+
+// snapshotFile deep-copies an inode's committed view.
+func snapshotFile(i *Inode) *cpFile {
+	f := &cpFile{
+		ino:    i.Ino,
+		name:   i.Name,
+		parent: i.Parent,
+		dir:    i.Dir,
+		sizePg: i.SizePg,
+		gen:    i.Gen,
+	}
+	f.extents = append(f.extents, i.Extents...)
+	f.pageVers = append(f.pageVers, i.PageVers...)
+	if i.Children != nil {
+		f.children = make(map[string]Ino, len(i.Children))
+		for n, c := range i.Children {
+			f.children[n] = c
+		}
+	}
+	return f
+}
+
+// EnableDurability arms checkpointing and deferred frees, taking the
+// initial checkpoint from the current state (which the caller should
+// have synced). Harness code (machine.Machine, the fault experiments)
+// calls this before running faulty workloads; the fault-free
+// experiments never do, so their allocation sequence is unchanged.
+func (fs *FS) EnableDurability() {
+	if fs.durable != nil {
+		return
+	}
+	fs.durable = fs.takeCheckpoint()
+}
+
+// DurabilityEnabled reports whether the filesystem checkpoints.
+func (fs *FS) DurabilityEnabled() bool { return fs.durable != nil }
+
+// takeCheckpoint snapshots every file that is durably clean. Files with
+// dirty (or quarantined) pages keep their previous committed entry:
+// their old blocks are still intact on the medium because deferred
+// frees have not released them.
+func (fs *FS) takeCheckpoint() *checkpoint {
+	cp := &checkpoint{
+		gen:     fs.gen,
+		nextIno: fs.nextIno,
+		nextVer: fs.nextVer,
+		files:   make(map[Ino]*cpFile, len(fs.inodes)),
+	}
+	for ino, i := range fs.inodes {
+		if !i.Dir && fs.fileDirty(ino) {
+			if fs.durable != nil {
+				if old, ok := fs.durable.files[ino]; ok {
+					cp.files[ino] = old // carry the last committed view
+				}
+			}
+			continue
+		}
+		cp.files[ino] = snapshotFile(i)
+	}
+	return cp
+}
+
+// fileDirty reports whether any page of the file is dirty in cache
+// (quarantined pages count: their data never reached the medium).
+func (fs *FS) fileDirty(ino Ino) bool {
+	dirty := false
+	fs.cache.IterateFile(fs.id, uint64(ino), func(pg *pagecache.Page) bool {
+		if pg.Dirty {
+			dirty = true
+			return false
+		}
+		return true
+	})
+	return dirty
+}
+
+// Commit is the durability barrier: flush everything, snapshot the
+// metadata, release deferred frees that the new checkpoint no longer
+// references, and charge the superblock write. Data is "acknowledged
+// durable" if and only if a Commit returning nil happened after it was
+// written. Commit fails (and acknowledges nothing new) while any of
+// this filesystem's pages are quarantined — their data is in memory
+// only, and checkpointing around them would acknowledge state the
+// medium cannot reproduce.
+func (fs *FS) Commit(p *sim.Proc) error {
+	if fs.durable == nil {
+		return fmt.Errorf("cowfs: Commit without EnableDurability")
+	}
+	inos := make([]Ino, 0, len(fs.inodes))
+	for ino, i := range fs.inodes {
+		if !i.Dir {
+			inos = append(inos, ino)
+		}
+	}
+	sort.Slice(inos, func(a, b int) bool { return inos[a] < inos[b] })
+	var firstErr error
+	for _, ino := range inos {
+		if err := fs.cache.SyncFile(p, fs.id, uint64(ino)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if n := fs.quarantinedPages(); n > 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("cowfs: %d pages quarantined", n)
+		}
+		return fmt.Errorf("cowfs: commit aborted: %w", firstErr)
+	}
+	// Transient failures leave pages dirty; the checkpoint below simply
+	// keeps those files' previous committed entries, so a sync error is
+	// not fatal to the commit — it only narrows what gets acknowledged.
+	cp := fs.takeCheckpoint()
+	// Superblock/checkpoint-region write: the durability barrier costs a
+	// device write like any real commit record.
+	if err := fs.disk.Write(p, 0, 1, storage.ClassNormal, "commit"); err != nil {
+		return fmt.Errorf("cowfs: checkpoint write: %w", err)
+	}
+	fs.durable = cp
+	fs.drainDeferred()
+	fs.stats.Commits++
+	return nil
+}
+
+// quarantinedPages counts quarantined pages belonging to this fs.
+func (fs *FS) quarantinedPages() int {
+	fs.quarScratch = fs.cache.Quarantined(fs.quarScratch[:0])
+	n := 0
+	for _, k := range fs.quarScratch {
+		if k.FS == fs.id {
+			n++
+		}
+	}
+	return n
+}
+
+// deferFree parks a block whose refcount reached zero until the next
+// commit. Its metadata (checksum, reverse map, corruption marker) stays
+// intact: the last checkpoint may still reference it.
+func (fs *FS) deferFree(b int64) {
+	fs.deferredFree = append(fs.deferredFree, b)
+}
+
+// drainDeferred releases deferred blocks not referenced by the new
+// checkpoint. Blocks a carried-over (dirty-file) checkpoint entry still
+// points at remain deferred for another round.
+func (fs *FS) drainDeferred() {
+	if len(fs.deferredFree) == 0 {
+		return
+	}
+	if fs.cpMark == nil {
+		fs.cpMark = make([]bool, fs.disk.Blocks())
+	}
+	marked := fs.markScratch[:0]
+	for _, f := range fs.durable.files {
+		for _, e := range f.extents {
+			for b := e.Phys; b < e.Phys+e.Len; b++ {
+				if !fs.cpMark[b] {
+					fs.cpMark[b] = true
+					marked = append(marked, b)
+				}
+			}
+		}
+	}
+	kept := fs.deferredFree[:0]
+	for _, b := range fs.deferredFree {
+		if fs.cpMark[b] {
+			kept = append(kept, b)
+			continue
+		}
+		fs.csums[b] = 0
+		fs.rev[b] = revEntry{}
+		fs.corrupt.Unset(uint64(b))
+		fs.insertFree(b, 1)
+		fs.freeBlocks++
+	}
+	fs.deferredFree = kept
+	for _, b := range marked {
+		fs.cpMark[b] = false
+	}
+	fs.markScratch = marked[:0]
+}
+
+// CrashImage is what survives a power cut: the last checkpoint (the
+// durable metadata) and the medium (per-block content versions, silent
+// corruption, grown bad blocks). Capture it after the engine stops;
+// everything in memory — cache pages, in-flight writes, post-commit
+// metadata — is gone by construction.
+type CrashImage struct {
+	cp        *checkpoint
+	diskVer   []uint64
+	corrupt   []uint64
+	badBlocks []int64
+}
+
+// CrashImage captures the filesystem's durable state. The engine must
+// be stopped: the image aliases the medium arrays of the dead instance.
+func (fs *FS) CrashImage() *CrashImage {
+	if fs.durable == nil {
+		panic("cowfs: CrashImage without EnableDurability")
+	}
+	img := &CrashImage{
+		cp:        fs.durable,
+		diskVer:   fs.diskVer,
+		badBlocks: fs.disk.BadBlocks(),
+	}
+	fs.corrupt.IterateSet(func(b uint64) bool {
+		img.corrupt = append(img.corrupt, b)
+		return true
+	})
+	return img
+}
+
+// Remount rebuilds a filesystem from a crash image on a fresh engine,
+// disk, and cache — the recovery half of Crash()/Recover(). Refcounts,
+// checksums, and the free index are reconstructed from the checkpoint's
+// extent maps; the medium state is transplanted; injected bad blocks
+// are re-injected on the new disk. The caller should then run
+// CheckInvariants and a full checksum scrub (machine.Recover does).
+func Remount(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, img *CrashImage) (*FS, error) {
+	nb := disk.Blocks()
+	if int64(len(img.diskVer)) != nb {
+		return nil, fmt.Errorf("cowfs: remount on %d-block device, image has %d", nb, len(img.diskVer))
+	}
+	fs := New(e, id, disk, cache)
+	cp := img.cp
+	fs.gen = cp.gen + 1 // remount starts a new generation
+	fs.nextIno = cp.nextIno
+	fs.nextVer = cp.nextVer
+
+	inos := make([]Ino, 0, len(cp.files))
+	for ino := range cp.files {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(a, b int) bool { return inos[a] < inos[b] })
+	for _, ino := range inos {
+		f := cp.files[ino]
+		i := &Inode{
+			Ino:    f.ino,
+			Name:   f.name,
+			Parent: f.parent,
+			Dir:    f.dir,
+			SizePg: f.sizePg,
+			Gen:    f.gen,
+		}
+		i.Extents = append(i.Extents, f.extents...)
+		i.PageVers = append(i.PageVers, f.pageVers...)
+		if f.children != nil {
+			i.Children = make(map[string]Ino, len(f.children))
+			for n, c := range f.children {
+				i.Children[n] = c
+			}
+		}
+		fs.inodes[ino] = i
+	}
+	// Drop checkpointed children entries whose inode is missing from the
+	// checkpoint (created-then-never-committed files inside a committed
+	// directory cannot resurrect).
+	for _, i := range fs.inodes {
+		for name, c := range i.Children {
+			if _, ok := fs.inodes[c]; !ok {
+				delete(i.Children, name)
+				i.namesOK = false
+			}
+		}
+	}
+
+	// Rebuild refcounts, checksums, and the reverse map from the extent
+	// walk; then the free index covers exactly the zero-ref remainder.
+	for _, ino := range inos {
+		i := fs.inodes[ino]
+		for _, e := range i.Extents {
+			for k := int64(0); k < e.Len; k++ {
+				b := e.Phys + k
+				fs.refs[b]++
+				idx := e.Logical + k
+				fs.csums[b] = Checksum(i.PageVers[idx])
+				fs.rev[b] = revEntry{ino: ino, idx: idx}
+			}
+		}
+	}
+	fs.free = newFreeIndex()
+	fs.freeBlocks = 0
+	runStart := int64(-1)
+	for b := int64(0); b <= nb; b++ {
+		free := b < nb && fs.refs[b] == 0
+		if free && runStart < 0 {
+			runStart = b
+		}
+		if !free && runStart >= 0 {
+			fs.free.add(runStart, b-runStart)
+			fs.freeBlocks += b - runStart
+			runStart = -1
+		}
+	}
+
+	copy(fs.diskVer, img.diskVer)
+	for _, b := range img.corrupt {
+		fs.corrupt.Set(b)
+	}
+	for _, b := range img.badBlocks {
+		disk.InjectBadBlock(b)
+	}
+	fs.durable = fs.takeCheckpoint()
+	return fs, nil
+}

@@ -1,0 +1,175 @@
+package cowfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// scrubClean verifies every allocated block's medium content against its
+// checksum without device I/O — the post-recovery integrity sweep.
+func scrubClean(t *testing.T, fs *FS) {
+	t.Helper()
+	for b, ok := fs.NextAllocated(0); ok; b, ok = fs.NextAllocated(b + 1) {
+		if err := fs.CheckBlock(b); err != nil {
+			t.Errorf("block %d: %v", b, err)
+		}
+	}
+}
+
+func TestCommitCrashRemountRoundTrip(t *testing.T) {
+	v := newEnv(1024)
+	rng := rand.New(rand.NewSource(7))
+	if _, err := v.fs.MkdirAll("/data"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := v.fs.PopulateFile("/data/a", 32, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.fs.EnableDurability()
+
+	var committedGen uint64
+	v.in(t, func(p *sim.Proc) {
+		// Committed write: must survive the crash.
+		if err := v.fs.Write(p, a.Ino, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		committedGen = a.Gen
+		// Uncommitted write and file: must roll back cleanly.
+		if err := v.fs.Write(p, a.Ino, 16, 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.fs.PopulateFile("/data/b", 8, 1, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if v.fs.Stats().Commits != 1 {
+		t.Fatalf("Commits = %d, want 1", v.fs.Stats().Commits)
+	}
+
+	img := v.fs.CrashImage()
+	v2 := newEnv(1024)
+	fs2, err := Remount(v2.e, 1, v2.disk, v2.cache, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fs2.Lookup("/data/a")
+	if err != nil {
+		t.Fatalf("committed file lost: %v", err)
+	}
+	if a2.Gen != committedGen {
+		t.Errorf("recovered gen %d, want committed %d (uncommitted write leaked)", a2.Gen, committedGen)
+	}
+	if _, err := fs2.Lookup("/data/b"); err == nil {
+		t.Error("uncommitted file resurrected after crash")
+	}
+	scrubClean(t, fs2)
+	v2.e.Go("check", func(p *sim.Proc) {
+		defer v2.e.Stop()
+		if err := fs2.ReadFile(p, a2.Ino, storage.ClassNormal, "check"); err != nil {
+			t.Errorf("read after recovery: %v", err)
+		}
+	})
+	if err := v2.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Checkpoint-referenced blocks must not be reallocated before the next
+// commit: an uncommitted overwrite followed by a crash has to land on a
+// medium where the old (committed) content is still intact.
+func TestDeferredFreeProtectsCheckpoint(t *testing.T) {
+	v := newEnv(1024)
+	rng := rand.New(rand.NewSource(8))
+	a, err := v.fs.PopulateFile("/a", 16, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.fs.EnableDurability()
+	v.in(t, func(p *sim.Proc) {
+		// COW overwrite of every page, flushed to the medium but never
+		// committed. Without deferred frees the old blocks could be
+		// reallocated and scribbled over.
+		if err := v.fs.Write(p, a.Ino, 0, 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.cache.SyncFile(p, 1, uint64(a.Ino)); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.Write(p, a.Ino, 0, 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.cache.SyncFile(p, 1, uint64(a.Ino)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	img := v.fs.CrashImage()
+	v2 := newEnv(1024)
+	fs2, err := Remount(v2.e, 1, v2.disk, v2.cache, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	scrubClean(t, fs2) // the checkpointed blocks must verify
+}
+
+// failFirstWrite injects one permanent write fault, then goes quiet.
+type failFirstWrite struct{ fired bool }
+
+func (f *failFirstWrite) Evaluate(now sim.Time, r *storage.Request, attempt int) storage.FaultOutcome {
+	if r.Write && !f.fired {
+		f.fired = true
+		return storage.FaultOutcome{Err: storage.ErrWriteFault}
+	}
+	return storage.FaultOutcome{}
+}
+
+// Commit must refuse to acknowledge state the medium cannot reproduce:
+// while pages are quarantined it aborts, and succeeds again once the
+// fault is repaired and the pages requeued and flushed.
+func TestCommitAbortsOnQuarantine(t *testing.T) {
+	v := newEnv(1024)
+	rng := rand.New(rand.NewSource(9))
+	a, err := v.fs.PopulateFile("/a", 8, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.fs.EnableDurability()
+	v.disk.SetFaultInjector(&failFirstWrite{})
+	v.in(t, func(p *sim.Proc) {
+		if err := v.fs.Write(p, a.Ino, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.Commit(p); err == nil {
+			t.Fatal("commit acknowledged quarantined pages")
+		}
+		if v.cache.QuarantinedLen() == 0 {
+			t.Fatal("no pages quarantined after permanent write fault")
+		}
+		// Repair: clear the injector, requeue, commit again.
+		v.disk.SetFaultInjector(nil)
+		for _, k := range v.cache.Quarantined(nil) {
+			v.cache.Requeue(k)
+		}
+		if err := v.fs.Commit(p); err != nil {
+			t.Fatalf("commit after repair: %v", err)
+		}
+	})
+	if v.fs.Stats().Commits != 1 {
+		t.Errorf("Commits = %d, want 1 (the aborted one must not count)", v.fs.Stats().Commits)
+	}
+}

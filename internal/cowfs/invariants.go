@@ -90,14 +90,31 @@ func (fs *FS) CheckInvariants() error {
 	if freeTotal != fs.freeBlocks {
 		return fmt.Errorf("cowfs: free runs hold %d blocks but freeBlocks is %d", freeTotal, fs.freeBlocks)
 	}
+	// Deferred frees (durability mode) are zero-ref blocks deliberately
+	// withheld from the index: each must be unique, unreferenced, and not
+	// also free-listed.
+	deferred := make(map[int64]bool, len(fs.deferredFree))
+	for _, b := range fs.deferredFree {
+		if deferred[b] {
+			return fmt.Errorf("cowfs: block %d deferred-freed twice", b)
+		}
+		deferred[b] = true
+		if fs.refs[b] != 0 {
+			return fmt.Errorf("cowfs: deferred-free block %d has refcount %d", b, fs.refs[b])
+		}
+		if s, l, ok := fs.free.runs.Floor(b); ok && b < s+l {
+			return fmt.Errorf("cowfs: block %d both deferred and free-listed", b)
+		}
+	}
 	var zeroRef int64
 	for b := int64(0); b < nb; b++ {
 		if fs.refs[b] == 0 {
 			zeroRef++
 		}
 	}
-	if zeroRef != freeTotal {
-		return fmt.Errorf("cowfs: %d blocks have refcount 0 but free runs hold %d (leak or double-free)", zeroRef, freeTotal)
+	if zeroRef != freeTotal+int64(len(fs.deferredFree)) {
+		return fmt.Errorf("cowfs: %d blocks have refcount 0 but free runs hold %d and %d are deferred (leak or double-free)",
+			zeroRef, freeTotal, len(fs.deferredFree))
 	}
 
 	// Pass 4: no stale size-class bucket entries — every bucket bit must

@@ -53,10 +53,17 @@ func (fs *FS) putMissBuf(b *missBuf) {
 }
 
 // wb is a writeback staging record: one dirty page and its target block.
+// pos remembers the record's position in the caller's index slice
+// (staging order), so the persisted prefix can be computed after the
+// records are re-sorted by block for coalescing. ok marks records whose
+// device write completed (including the persisted prefix of a torn
+// write).
 type wb struct {
 	idx   int64
 	block int64
 	ver   uint64
+	pos   int
+	ok    bool
 }
 
 // wbBuf is a pooled staging buffer for WritebackPages.
@@ -421,12 +428,17 @@ func (fs *FS) SetWritebackTag(ino Ino, class storage.Class, owner string) {
 }
 
 // WritebackPages implements pagecache.Backend: it writes the given dirty
-// pages of one file to their (already assigned) blocks.
-func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
+// pages of one file to their (already assigned) blocks. It returns how
+// many leading entries of indices are durably on the medium: all of
+// them on success; on a device error, the prefix whose coalesced writes
+// completed (a torn write persists a further partial run). The medium
+// model (diskVer) is updated for exactly the persisted pages, so a
+// crash after a failed writeback sees the same bytes a real disk would.
+func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) (int, error) {
 	ino := Ino(inoN)
 	i, ok := fs.inodes[ino]
 	if !ok {
-		return nil // file deleted while dirty; nothing to write
+		return len(indices), nil // file deleted while dirty; nothing to write
 	}
 	class, owner := storage.ClassNormal, "writeback"
 	if tag, tagged := fs.wbTags[ino]; tagged {
@@ -439,32 +451,61 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 	wbuf := fs.getWbBuf()
 	defer fs.putWbBuf(wbuf)
 	pages := wbuf.w
-	for _, idxU := range indices {
+	for pos, idxU := range indices {
 		idx := int64(idxU)
 		b, mapped := fs.Fibmap(ino, idx)
 		if !mapped || idx >= int64(len(i.PageVers)) {
 			continue
 		}
-		pages = append(pages, wb{idx: idx, block: b, ver: i.PageVers[idx]})
+		pages = append(pages, wb{idx: idx, block: b, ver: i.PageVers[idx], pos: pos})
 	}
 	wbuf.w = pages
 	slices.SortFunc(pages, func(a, b wb) int { return cmp.Compare(a.block, b.block) })
+	var wbErr error
 	for s := 0; s < len(pages); {
 		e := s + 1
 		for e < len(pages) && pages[e].block == pages[e-1].block+1 {
 			e++
 		}
-		if err := fs.disk.Write(p, pages[s].block, e-s, class, owner); err != nil {
-			return err
+		err := fs.disk.Write(p, pages[s].block, e-s, class, owner)
+		done := e - s
+		if err != nil {
+			done = 0
+			if k, torn := storage.TornBlocks(err); torn {
+				done = k // leading blocks of the run reached the medium
+			}
+		}
+		for k := s; k < s+done; k++ {
+			pages[k].ok = true
+		}
+		if err != nil {
+			wbErr = err
+			break // remaining runs are not issued, like a real bio chain
 		}
 		s = e
 	}
+	applied := 0
 	for _, w := range pages {
+		if !w.ok {
+			continue
+		}
+		applied++
 		if b, mapped := fs.Fibmap(ino, w.idx); mapped && b == w.block {
 			fs.diskVer[w.block] = w.ver
 		}
 	}
-	fs.stats.WritebackPages += int64(len(pages))
+	// The cache's contract wants a prefix of the input order: the first
+	// record (in staging order) that did not persist bounds it.
+	persisted := len(indices)
+	for _, w := range pages {
+		if !w.ok && w.pos < persisted {
+			persisted = w.pos
+		}
+	}
+	fs.stats.WritebackPages += int64(applied)
+	if wbErr != nil {
+		fs.stats.WritebackErrors++
+	}
 	// Drop the tag once the file has no dirty pages left.
 	if _, tagged := fs.wbTags[ino]; tagged {
 		dirty := false
@@ -479,7 +520,7 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 			delete(fs.wbTags, ino)
 		}
 	}
-	return nil
+	return persisted, wbErr
 }
 
 // Sync writes back all dirty pages of the filesystem's files.

@@ -1,0 +1,160 @@
+// Package faults provides a deterministic, seed-driven fault plan for
+// the simulated storage stack. A Plan declares probabilities and
+// schedules; an Injector attached to a storage.Disk evaluates the plan
+// per service attempt and injects transient/permanent read and write
+// errors, torn (partially persisted) writes, device stalls, and latent
+// sector errors that appear at scheduled virtual instants. A crash
+// point (power cut) is carried in the plan for the harness to act on:
+// the machine layer stops the engine at CrashAt and remounts the
+// filesystems from their durable images (see machine.Recover).
+//
+// Determinism: every decision is a pure function of (plan seed,
+// evaluation sequence number). Because the simulation delivers requests
+// to each disk in a deterministic order, the fault sequence is
+// reproducible for a given plan — rerunning the same experiment yields
+// bit-identical failures, which is what makes crash/recovery tests
+// debuggable. A zero-valued Plan injects nothing, and an unattached
+// disk skips the fault path entirely.
+package faults
+
+import (
+	"sort"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// LatentError is a sector error that appears at a virtual instant: from
+// At onward, reads covering Block fail with storage.ErrBadBlock until
+// the block is rewritten via Disk.RepairBlock (the scrubber's repair).
+type LatentError struct {
+	Block int64
+	At    sim.Time
+}
+
+// Plan declares what to inject. Rates are per service attempt in [0,1].
+type Plan struct {
+	Seed uint64
+
+	TransientReadRate  float64 // reads fail with ErrTransient (retryable)
+	TransientWriteRate float64 // writes fail with ErrTransient (retryable)
+	PermanentWriteRate float64 // writes fail with ErrWriteFault (quarantine)
+	TornWriteRate      float64 // multi-block writes persist only a prefix
+
+	StallRate  float64  // attempts delayed by StallDelay
+	StallDelay sim.Time // extra latency per stalled attempt
+
+	LatentErrors []LatentError
+
+	// CrashAt, when nonzero, is the virtual instant of a power cut. The
+	// injector does not act on it; the experiment harness stops the
+	// engine there and recovers (machine.Recover).
+	CrashAt sim.Time
+}
+
+// Zero reports whether the plan injects nothing (no rates, no latent
+// errors). A zero plan attached to a disk still leaves behavior
+// identical except for the retry policy arming, so callers should skip
+// attaching entirely when Zero() — duetbench does.
+func (p *Plan) Zero() bool {
+	return p == nil || (p.TransientReadRate == 0 && p.TransientWriteRate == 0 &&
+		p.PermanentWriteRate == 0 && p.TornWriteRate == 0 &&
+		p.StallRate == 0 && len(p.LatentErrors) == 0 && p.CrashAt == 0)
+}
+
+// Injector implements storage.FaultInjector for one disk. It survives a
+// crash: machine.Recover re-attaches the same injector to the remounted
+// disk so the decision stream and latent-error state continue.
+type Injector struct {
+	plan   Plan
+	disk   *storage.Disk
+	seq    uint64
+	latent []LatentError // sorted by At; [0:nextLatent) already materialized
+	next   int
+}
+
+// NewInjector builds an injector for the plan. Attach it with
+// Injector.Attach (or machine.AttachFaults).
+func NewInjector(plan Plan) *Injector {
+	in := &Injector{plan: plan}
+	in.latent = append(in.latent, plan.LatentErrors...)
+	sort.Slice(in.latent, func(i, j int) bool {
+		a, b := in.latent[i], in.latent[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Block < b.Block
+	})
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Attach arms the disk with this injector (and the default retry
+// policy, if none is set). Latent errors already materialized — e.g.
+// when re-attaching after a crash — are re-injected onto the new disk
+// unless they were repaired on the old one, which the caller handles by
+// transplanting Disk.BadBlocks (machine.Recover does both).
+func (in *Injector) Attach(d *storage.Disk) {
+	in.disk = d
+	d.SetFaultInjector(in)
+}
+
+// splitmix64 is the standard 64-bit finalizer; a full-avalanche hash of
+// the counter gives an independent uniform stream per plan seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws the next deterministic uniform in [0,1).
+func (in *Injector) roll() float64 {
+	in.seq++
+	return float64(splitmix64(in.plan.Seed^(in.seq*0x2545f4914f6cdd1d))>>11) / (1 << 53)
+}
+
+// rollN draws a deterministic integer in [0,n).
+func (in *Injector) rollN(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	in.seq++
+	return int(splitmix64(in.plan.Seed^(in.seq*0x2545f4914f6cdd1d)) % uint64(n))
+}
+
+// materialize injects latent errors whose appearance time has passed.
+// Once injected they live in the disk's bad-block set; RepairBlock
+// clears them there, and they are not re-injected.
+func (in *Injector) materialize(now sim.Time) {
+	for in.next < len(in.latent) && in.latent[in.next].At <= now {
+		in.disk.InjectBadBlock(in.latent[in.next].Block)
+		in.next++
+	}
+}
+
+// Evaluate implements storage.FaultInjector.
+func (in *Injector) Evaluate(now sim.Time, r *storage.Request, attempt int) storage.FaultOutcome {
+	in.materialize(now)
+	var out storage.FaultOutcome
+	if in.plan.StallRate > 0 && in.roll() < in.plan.StallRate {
+		out.ExtraLatency = in.plan.StallDelay
+	}
+	if r.Write {
+		switch {
+		case in.plan.TornWriteRate > 0 && r.Count > 1 && in.roll() < in.plan.TornWriteRate:
+			out.Err = &storage.TornWriteError{Persisted: in.rollN(r.Count)}
+		case in.plan.PermanentWriteRate > 0 && in.roll() < in.plan.PermanentWriteRate:
+			out.Err = storage.ErrWriteFault
+		case in.plan.TransientWriteRate > 0 && in.roll() < in.plan.TransientWriteRate:
+			out.Err = storage.ErrTransient
+		}
+	} else if in.plan.TransientReadRate > 0 && in.roll() < in.plan.TransientReadRate {
+		out.Err = storage.ErrTransient
+	}
+	return out
+}
+
+var _ storage.FaultInjector = (*Injector)(nil)

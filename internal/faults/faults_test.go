@@ -1,0 +1,167 @@
+package faults_test
+
+import (
+	"errors"
+	"testing"
+
+	"duet/internal/faults"
+	"duet/internal/iosched"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+const testBlocks = 1 << 14
+
+func newDisk(e *sim.Engine) *storage.Disk {
+	return storage.NewDisk(e, "sda", storage.DefaultHDD(testBlocks), iosched.NewCFQ())
+}
+
+func TestZeroPlan(t *testing.T) {
+	var p *faults.Plan
+	if !p.Zero() {
+		t.Error("nil plan should be Zero")
+	}
+	if !(&faults.Plan{Seed: 42, CrashAt: 0}).Zero() {
+		t.Error("seed-only plan should be Zero")
+	}
+	for _, p := range []faults.Plan{
+		{TransientReadRate: 0.1},
+		{TransientWriteRate: 0.1},
+		{PermanentWriteRate: 0.1},
+		{TornWriteRate: 0.1},
+		{StallRate: 0.1},
+		{LatentErrors: []faults.LatentError{{Block: 1}}},
+		{CrashAt: sim.Second},
+	} {
+		if p.Zero() {
+			t.Errorf("plan %+v should not be Zero", p)
+		}
+	}
+}
+
+// TestDeterministicDecisions: two injectors built from the same plan must
+// produce bit-identical outcome streams for the same request sequence —
+// the property that makes fault experiments reproducible.
+func TestDeterministicDecisions(t *testing.T) {
+	plan := faults.Plan{
+		Seed:               12345,
+		TransientReadRate:  0.2,
+		TransientWriteRate: 0.1,
+		PermanentWriteRate: 0.05,
+		TornWriteRate:      0.3,
+		StallRate:          0.15,
+		StallDelay:         3 * sim.Millisecond,
+	}
+	a := faults.NewInjector(plan)
+	b := faults.NewInjector(plan)
+	for i := 0; i < 2000; i++ {
+		r := &storage.Request{Block: int64(i % 512), Count: 1 + i%8, Write: i%2 == 0}
+		now := sim.Time(i) * sim.Millisecond
+		oa := a.Evaluate(now, r, 0)
+		ob := b.Evaluate(now, r, 0)
+		if oa.ExtraLatency != ob.ExtraLatency {
+			t.Fatalf("step %d: latency %v != %v", i, oa.ExtraLatency, ob.ExtraLatency)
+		}
+		if (oa.Err == nil) != (ob.Err == nil) {
+			t.Fatalf("step %d: err %v != %v", i, oa.Err, ob.Err)
+		}
+		if oa.Err != nil && oa.Err.Error() != ob.Err.Error() {
+			t.Fatalf("step %d: err %v != %v", i, oa.Err, ob.Err)
+		}
+	}
+}
+
+// Different seeds must produce different streams (no accidental seed
+// insensitivity).
+func TestSeedChangesStream(t *testing.T) {
+	mk := func(seed uint64) string {
+		in := faults.NewInjector(faults.Plan{Seed: seed, TransientReadRate: 0.5})
+		s := ""
+		for i := 0; i < 64; i++ {
+			r := &storage.Request{Count: 1}
+			if in.Evaluate(0, r, 0).Err != nil {
+				s += "x"
+			} else {
+				s += "."
+			}
+		}
+		return s
+	}
+	if mk(1) == mk(2) {
+		t.Error("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+// TestRatesRoughlyHonoured: over many draws, the observed fault fraction
+// should be near the configured rate.
+func TestRatesRoughlyHonoured(t *testing.T) {
+	in := faults.NewInjector(faults.Plan{Seed: 99, TransientReadRate: 0.25})
+	faultsSeen := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := &storage.Request{Count: 1}
+		if in.Evaluate(0, r, 0).Err != nil {
+			faultsSeen++
+		}
+	}
+	frac := float64(faultsSeen) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("observed fault rate %.3f, want ~0.25", frac)
+	}
+}
+
+// TestLatentErrorsMaterialize: a latent sector error appears on the disk
+// at its scheduled instant (the first evaluation at or after At) and is
+// cleared by RepairBlock, never to be re-injected.
+func TestLatentErrorsMaterialize(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	in := faults.NewInjector(faults.Plan{
+		Seed:         1,
+		LatentErrors: []faults.LatentError{{Block: 7, At: 5 * sim.Millisecond}},
+	})
+	in.Attach(d)
+	var early, late, repaired error
+	e.Go("io", func(p *sim.Proc) {
+		defer e.Stop()
+		early = d.Read(p, 7, 1, storage.ClassNormal, "t")
+		p.Sleep(10 * sim.Millisecond)
+		late = d.Read(p, 7, 1, storage.ClassNormal, "t")
+		d.RepairBlock(7)
+		repaired = d.Read(p, 7, 1, storage.ClassNormal, "t")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early != nil {
+		t.Errorf("read before At failed: %v", early)
+	}
+	if !errors.Is(late, storage.ErrBadBlock) {
+		t.Errorf("read after At = %v, want ErrBadBlock", late)
+	}
+	if repaired != nil {
+		t.Errorf("read after repair failed: %v", repaired)
+	}
+	if got := d.BadBlocks(); len(got) != 0 {
+		t.Errorf("BadBlocks after repair = %v", got)
+	}
+}
+
+// Torn writes only apply to multi-block requests, and the persisted
+// prefix is always strictly shorter than the request.
+func TestTornWriteBounds(t *testing.T) {
+	in := faults.NewInjector(faults.Plan{Seed: 3, TornWriteRate: 1})
+	if out := in.Evaluate(0, &storage.Request{Write: true, Count: 1}, 0); out.Err != nil {
+		t.Errorf("single-block write torn: %v", out.Err)
+	}
+	for i := 0; i < 100; i++ {
+		out := in.Evaluate(0, &storage.Request{Write: true, Count: 8}, 0)
+		n, ok := storage.TornBlocks(out.Err)
+		if !ok {
+			t.Fatalf("draw %d: want torn error, got %v", i, out.Err)
+		}
+		if n < 0 || n >= 8 {
+			t.Fatalf("draw %d: persisted %d out of [0,8)", i, n)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+
+	"duet/internal/bitmap"
+	"duet/internal/pagecache"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// Crash-consistent durability for the log-structured filesystem,
+// modeled on F2fs: a checkpoint records the inode table as of the last
+// durability barrier, and per-block segment summaries — written with
+// the data itself — allow roll-forward of writes that hit the medium
+// after the checkpoint. Two rules make the checkpoint recoverable at
+// any crash instant:
+//
+//  1. Segments holding checkpoint-referenced blocks are never reused:
+//     they stay pinned (unfreed) even at zero valid count, and in-place
+//     allocation skips their slots, until a later checkpoint stops
+//     referencing them.
+//  2. A durable summary record is appended only when the device write
+//     completes, so roll-forward sees exactly what a real segment
+//     summary block would contain.
+//
+// Durability is opt-in (EnableDurability); without it nothing here runs
+// and behavior is bit-for-bit the historical one.
+
+// durRec is one durable segment-summary record: at sequence seq, block
+// held version ver of file page (ino, idx).
+type durRec struct {
+	seq   uint64
+	ino   Ino
+	idx   int64
+	block int64
+	ver   uint64
+}
+
+// cpFile is one file's committed metadata.
+type cpFile struct {
+	ino    Ino
+	name   string
+	sizePg int64
+	blocks []int64
+	vers   []uint64
+}
+
+// lfsCheckpoint is the durable metadata image.
+type lfsCheckpoint struct {
+	seq     uint64 // summary records <= seq are folded into the table
+	nextIno Ino
+	files   map[Ino]*cpFile
+}
+
+func snapshotFile(i *Inode) *cpFile {
+	f := &cpFile{ino: i.Ino, name: i.Name, sizePg: i.SizePg}
+	f.blocks = append(f.blocks, i.blocks...)
+	f.vers = append(f.vers, i.vers...)
+	return f
+}
+
+// EnableDurability arms checkpointing, summary logging, and segment
+// pinning, taking the initial checkpoint from the current state.
+func (fs *FS) EnableDurability() {
+	if fs.durable != nil {
+		return
+	}
+	fs.cpRef = bitmap.New()
+	fs.durable = fs.takeCheckpoint()
+	fs.rebuildCpRef()
+}
+
+// DurabilityEnabled reports whether the filesystem checkpoints.
+func (fs *FS) DurabilityEnabled() bool { return fs.durable != nil }
+
+// logDurable records a completed device write in the summary log.
+func (fs *FS) logDurable(ino Ino, idx, block int64, ver uint64) {
+	if fs.durable == nil {
+		return
+	}
+	fs.durSeq++
+	fs.durLog = append(fs.durLog, durRec{seq: fs.durSeq, ino: ino, idx: idx, block: block, ver: ver})
+}
+
+// fileDirty reports whether any page of the file is dirty in cache.
+func (fs *FS) fileDirty(ino Ino) bool {
+	dirty := false
+	fs.cache.IterateFile(fs.id, uint64(ino), func(pg *pagecache.Page) bool {
+		if pg.Dirty {
+			dirty = true
+			return false
+		}
+		return true
+	})
+	return dirty
+}
+
+// takeCheckpoint snapshots every fully-clean file; files with dirty (or
+// quarantined) pages keep their previous committed entry — their old
+// blocks are pinned, so that entry is still reproducible from the
+// medium.
+func (fs *FS) takeCheckpoint() *lfsCheckpoint {
+	cp := &lfsCheckpoint{seq: fs.durSeq, nextIno: fs.nextIno, files: make(map[Ino]*cpFile, len(fs.inodes))}
+	for ino, i := range fs.inodes {
+		if fs.fileDirty(ino) {
+			if fs.durable != nil {
+				if old, ok := fs.durable.files[ino]; ok {
+					cp.files[ino] = old
+				}
+			}
+			continue
+		}
+		cp.files[ino] = snapshotFile(i)
+	}
+	return cp
+}
+
+// rebuildCpRef recomputes the set of checkpoint-referenced blocks.
+func (fs *FS) rebuildCpRef() {
+	fs.cpRef = bitmap.New()
+	for _, f := range fs.durable.files {
+		for _, b := range f.blocks {
+			if b != NoBlock {
+				fs.cpRef.Set(uint64(b))
+			}
+		}
+	}
+}
+
+// segPinned reports whether a segment holds checkpoint-referenced
+// blocks and therefore must not be reused yet.
+func (fs *FS) segPinned(si int) bool {
+	base := uint64(si * fs.cfg.SegBlocks)
+	for k := uint64(0); k < uint64(fs.cfg.SegBlocks); k++ {
+		if fs.cpRef.Test(base + k) {
+			return true
+		}
+	}
+	return false
+}
+
+// pinSegment parks a zero-valid segment instead of freeing it. It stays
+// SegFull, out of the buckets and the partial set, until a commit drops
+// the last checkpoint reference into it.
+func (fs *FS) pinSegment(si int) {
+	fs.partial.Unset(uint64(si))
+	fs.pinnedSegs = append(fs.pinnedSegs, si)
+	fs.stats.SegsPinned++
+}
+
+// drainPinned frees pinned segments the new checkpoint no longer
+// references (they must still be zero-valid; a segment revived by
+// in-place writes just unpins).
+func (fs *FS) drainPinned() {
+	kept := fs.pinnedSegs[:0]
+	for _, si := range fs.pinnedSegs {
+		seg := fs.segs[si]
+		if seg.Valid > 0 {
+			continue // revived: normal lifecycle owns it again
+		}
+		if fs.segPinned(si) {
+			kept = append(kept, si)
+			continue
+		}
+		fs.freeSegment(si)
+	}
+	fs.pinnedSegs = kept
+}
+
+// Commit is the durability barrier: flush, checkpoint, re-pin, release.
+// It refuses to acknowledge anything while pages of this filesystem are
+// quarantined (their data exists only in memory).
+func (fs *FS) Commit(p *sim.Proc) error {
+	if fs.durable == nil {
+		return fmt.Errorf("lfs: Commit without EnableDurability")
+	}
+	inos := make([]Ino, 0, len(fs.inodes))
+	for ino := range fs.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(a, b int) bool { return inos[a] < inos[b] })
+	var firstErr error
+	for _, ino := range inos {
+		if err := fs.cache.SyncFile(p, fs.id, uint64(ino)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if n := fs.quarantinedPages(); n > 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("lfs: %d pages quarantined", n)
+		}
+		return fmt.Errorf("lfs: commit aborted: %w", firstErr)
+	}
+	cp := fs.takeCheckpoint()
+	if err := fs.disk.Write(p, 0, 1, storage.ClassNormal, "commit"); err != nil {
+		return fmt.Errorf("lfs: checkpoint write: %w", err)
+	}
+	fs.durable = cp
+	fs.durLog = fs.durLog[:0] // summaries <= cp.seq are folded into the table
+	fs.rebuildCpRef()
+	fs.drainPinned()
+	fs.stats.Commits++
+	return nil
+}
+
+// quarantinedPages counts quarantined pages belonging to this fs.
+func (fs *FS) quarantinedPages() int {
+	fs.quarScratch = fs.cache.Quarantined(fs.quarScratch[:0])
+	n := 0
+	for _, k := range fs.quarScratch {
+		if k.FS == fs.id {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashImage is what survives a power cut: the checkpoint, the summary
+// log (both live in the device's metadata areas), and the medium.
+type CrashImage struct {
+	cp        *lfsCheckpoint
+	log       []durRec
+	diskVer   []uint64
+	badBlocks []int64
+}
+
+// CrashImage captures the durable state. The engine must be stopped:
+// the image aliases arrays of the dead instance.
+func (fs *FS) CrashImage() *CrashImage {
+	if fs.durable == nil {
+		panic("lfs: CrashImage without EnableDurability")
+	}
+	return &CrashImage{
+		cp:        fs.durable,
+		log:       fs.durLog,
+		diskVer:   fs.diskVer,
+		badBlocks: fs.disk.BadBlocks(),
+	}
+}
+
+// Remount rebuilds a filesystem from a crash image on a fresh engine,
+// disk, and cache: restore the checkpointed inode table, roll forward
+// the summary log (latest record per page wins, provided its block was
+// not subsequently reused and the medium still holds that version),
+// then rebuild every segment's slots, counts, buckets, and bitmaps from
+// the recovered block maps. The caller should then run CheckInvariants
+// (machine.Recover does).
+func Remount(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, cfg Config, img *CrashImage) (*FS, error) {
+	nb := disk.Blocks()
+	if int64(len(img.diskVer)) != nb {
+		return nil, fmt.Errorf("lfs: remount on %d-block device, image has %d", nb, len(img.diskVer))
+	}
+	fs := New(e, id, disk, cache, cfg)
+	cp := img.cp
+	fs.nextIno = cp.nextIno
+
+	inos := make([]Ino, 0, len(cp.files))
+	for ino := range cp.files {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(a, b int) bool { return inos[a] < inos[b] })
+	for _, ino := range inos {
+		f := cp.files[ino]
+		i := &Inode{Ino: f.ino, Name: f.name, SizePg: f.sizePg}
+		i.blocks = append(i.blocks, f.blocks...)
+		i.vers = append(i.vers, f.vers...)
+		fs.inodes[ino] = i
+		fs.byName[f.name] = ino
+	}
+
+	// Roll-forward: fold in post-checkpoint summary records. A record
+	// applies only if it is the last write to its block (the block was
+	// not reused by a later append), the file and page existed at the
+	// checkpoint (later creations and extensions were never
+	// acknowledged), it is newer than the checkpointed version, and the
+	// medium still holds exactly that version.
+	lastByBlock := make(map[int64]durRec, len(img.log))
+	for _, r := range img.log {
+		lastByBlock[r.block] = r
+	}
+	latest := make(map[Ino]map[int64]durRec)
+	for _, r := range img.log {
+		m := latest[r.ino]
+		if m == nil {
+			m = make(map[int64]durRec)
+			latest[r.ino] = m
+		}
+		if prev, ok := m[r.idx]; !ok || r.seq > prev.seq {
+			m[r.idx] = r
+		}
+	}
+	rolled := 0
+	for _, ino := range inos {
+		i := fs.inodes[ino]
+		m := latest[ino]
+		if m == nil {
+			continue
+		}
+		idxs := make([]int64, 0, len(m))
+		for idx := range m {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+		for _, idx := range idxs {
+			r := m[idx]
+			if idx >= int64(len(i.blocks)) {
+				continue // post-checkpoint extension: unacknowledged
+			}
+			if lb, ok := lastByBlock[r.block]; !ok || lb != r {
+				continue // block reused by a later write
+			}
+			if r.ver <= i.vers[idx] || img.diskVer[r.block] != r.ver {
+				continue
+			}
+			i.blocks[idx] = r.block
+			i.vers[idx] = r.ver
+			rolled++
+		}
+	}
+	fs.stats.RolledForward = int64(rolled)
+
+	// Rebuild segment state from the recovered block maps: every mapped
+	// block becomes a valid slot; segments with valid data are SegFull
+	// (the log head is re-opened lazily by the next writeback), the rest
+	// are free.
+	for _, ino := range inos {
+		i := fs.inodes[ino]
+		for idx, b := range i.blocks {
+			if b == NoBlock {
+				continue
+			}
+			si := fs.SegOf(b)
+			seg := fs.segs[si]
+			slot := &seg.slots[int(b)%fs.cfg.SegBlocks]
+			if slot.valid {
+				return nil, fmt.Errorf("lfs: remount found block %d claimed twice", b)
+			}
+			*slot = slotInfo{ino: ino, idx: int64(idx), valid: true}
+			seg.Valid++
+		}
+	}
+	for si, seg := range fs.segs {
+		if seg.Valid == 0 {
+			continue
+		}
+		fs.freeSegs.Unset(uint64(si))
+		seg.State = SegFull
+		seg.Mtime = e.Now()
+		fs.bucketAdd(si)
+	}
+
+	copy(fs.diskVer, img.diskVer)
+	for _, b := range img.badBlocks {
+		disk.InjectBadBlock(b)
+	}
+	fs.cpRef = bitmap.New()
+	fs.durable = fs.takeCheckpoint()
+	fs.rebuildCpRef()
+	return fs, nil
+}

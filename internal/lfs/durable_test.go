@@ -1,0 +1,199 @@
+package lfs
+
+import (
+	"testing"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// sync flushes one file's dirty pages into the log.
+func sync(t *testing.T, v *env, p *sim.Proc, ino Ino) {
+	t.Helper()
+	if err := v.cache.SyncFile(p, 2, uint64(ino)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lfsTestConfig() Config {
+	return Config{SegBlocks: testSegBlocks, ReservedSegs: 2}
+}
+
+func TestCommitCrashRemountRoundTrip(t *testing.T) {
+	v := newEnv(256)
+	a, err := v.fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.fs.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.in(t, func(p *sim.Proc) {
+		if err := v.fs.Write(p, a.Ino, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		sync(t, v, p, a.Ino)
+		v.fs.EnableDurability()
+		if err := v.fs.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		// Post-commit data on file b: flushed but never checkpointed as a
+		// file — b was created before the checkpoint but is empty there.
+		if err := v.fs.Write(p, b.Ino, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	img := v.fs.CrashImage()
+	v2 := newEnv(256)
+	fs2, err := Remount(v2.e, 2, v2.disk, v2.cache, lfsTestConfig(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fs2.Lookup("a")
+	if err != nil {
+		t.Fatalf("committed file lost: %v", err)
+	}
+	if a2.SizePg != 8 {
+		t.Errorf("recovered size %d, want 8", a2.SizePg)
+	}
+	// b's write never hit the medium (dirty in cache at the crash): its
+	// checkpointed view is the empty file.
+	b2, err := fs2.Lookup("b")
+	if err != nil {
+		t.Fatalf("committed (empty) file lost: %v", err)
+	}
+	if b2.SizePg != 0 {
+		t.Errorf("uncommitted cached write resurrected: size %d", b2.SizePg)
+	}
+	v2.e.Go("check", func(p *sim.Proc) {
+		defer v2.e.Stop()
+		if err := fs2.ReadFile(p, a2.Ino, storage.ClassNormal, "check"); err != nil {
+			t.Errorf("read after recovery: %v", err)
+		}
+	})
+	if err := v2.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Writes that reached the device after the last checkpoint are rolled
+// forward from the durable summary log on remount (F2FS-style recovery):
+// the checkpointed file picks up its newer on-medium blocks.
+func TestRollForwardRecoversPostCheckpointWrites(t *testing.T) {
+	v := newEnv(256)
+	a, err := v.fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.in(t, func(p *sim.Proc) {
+		if err := v.fs.Write(p, a.Ino, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+		sync(t, v, p, a.Ino)
+		v.fs.EnableDurability()
+		if err := v.fs.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite half the file; the flush reaches the device (and the
+		// summary log), but no commit follows.
+		if err := v.fs.Write(p, a.Ino, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		sync(t, v, p, a.Ino)
+	})
+	wantBlocks := make([]int64, 4)
+	for i := int64(0); i < 4; i++ {
+		blk, ok := v.fs.Fibmap(a.Ino, i)
+		if !ok {
+			t.Fatalf("fibmap %d", i)
+		}
+		wantBlocks[i] = blk
+	}
+
+	img := v.fs.CrashImage()
+	v2 := newEnv(256)
+	fs2, err := Remount(v2.e, 2, v2.disk, v2.cache, lfsTestConfig(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.Stats().RolledForward != 4 {
+		t.Errorf("RolledForward = %d, want 4", fs2.Stats().RolledForward)
+	}
+	a2, err := fs2.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		blk, ok := fs2.Fibmap(a2.Ino, i)
+		if !ok || blk != wantBlocks[i] {
+			t.Errorf("page %d at block %d (ok=%v), want rolled-forward %d", i, blk, ok, wantBlocks[i])
+		}
+	}
+	if err := fs2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	v2.e.Go("check", func(p *sim.Proc) {
+		defer v2.e.Stop()
+		if err := fs2.ReadFile(p, a2.Ino, storage.ClassNormal, "check"); err != nil {
+			t.Errorf("read after roll-forward: %v", err)
+		}
+	})
+	if err := v2.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Segments holding only checkpoint-referenced (but invalidated) blocks
+// are pinned instead of freed — the crash image must stay intact until
+// the next commit releases it.
+func TestCheckpointPinsSegments(t *testing.T) {
+	v := newEnv(256)
+	a, err := v.fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.in(t, func(p *sim.Proc) {
+		// Fill a whole segment, checkpoint it, then invalidate every block
+		// by overwriting. Without pinning the segment would be freed and
+		// its blocks reused, destroying the checkpointed image.
+		if err := v.fs.Write(p, a.Ino, 0, int64(testSegBlocks)); err != nil {
+			t.Fatal(err)
+		}
+		sync(t, v, p, a.Ino)
+		v.fs.EnableDurability()
+		if err := v.fs.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.fs.Write(p, a.Ino, 0, int64(testSegBlocks)); err != nil {
+			t.Fatal(err)
+		}
+		sync(t, v, p, a.Ino)
+		if v.fs.Stats().SegsPinned == 0 {
+			t.Fatal("no segment pinned despite fully-invalidated checkpointed segment")
+		}
+		if err := v.fs.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The next commit releases the pin: the old image is no longer
+		// referenced, the segment returns to the free pool.
+		freeBefore := v.fs.FreeSegments()
+		if err := v.fs.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		if v.fs.FreeSegments() <= freeBefore {
+			t.Error("commit did not release the pinned segment")
+		}
+	})
+	if err := v.fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

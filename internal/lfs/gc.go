@@ -228,6 +228,9 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 			class = storage.ClassNormal
 		}
 		if err := fs.disk.Read(p, toRead[s].block, e-s, class, g.cfg.Owner); err != nil {
+			// Abandon this pass: the segment stays a candidate and is
+			// re-picked later. Counted, not swallowed.
+			fs.stats.GCReadErrors++
 			return
 		}
 		for k := s; k < e; k++ {
@@ -273,7 +276,11 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 				continue
 			}
 			prev = ino
-			_ = fs.cache.SyncFile(p, fs.id, uint64(ino))
+			if err := fs.cache.SyncFile(p, fs.id, uint64(ino)); err != nil {
+				// The pages stay dirty (or quarantined) in the cache; the
+				// segment stays partially valid and a later pass retries.
+				fs.stats.GCSyncErrors++
+			}
 		}
 	}
 	rec.Duration = p.Now() - start

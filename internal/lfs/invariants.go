@@ -1,0 +1,156 @@
+package lfs
+
+import "fmt"
+
+// CheckInvariants is a debug walk over the filesystem's accounting
+// structures. It cross-checks the inode block maps against the segment
+// slot tables, valid counts, state machine, valid-count buckets, and the
+// free/partial bitmaps, so a leaked slot, stale bucket entry, or
+// double-claimed block cannot hide. Tests and crash recovery call it; it
+// is O(blocks) and allocates, so it must never run on a simulation hot
+// path.
+func (fs *FS) CheckInvariants() error {
+	nb := fs.disk.Blocks()
+
+	// Pass 1: every mapped file page must own exactly one valid slot that
+	// points back at it.
+	type ownerRec struct {
+		ino Ino
+		idx int64
+	}
+	owner := make(map[int64]ownerRec, 64)
+	for ino, i := range fs.inodes {
+		if int64(len(i.blocks)) != i.SizePg || int64(len(i.vers)) != i.SizePg {
+			return fmt.Errorf("lfs: inode %d maps %d blocks / %d vers for size %d", ino, len(i.blocks), len(i.vers), i.SizePg)
+		}
+		for idx, b := range i.blocks {
+			if b == NoBlock {
+				continue
+			}
+			if b < 0 || b >= nb {
+				return fmt.Errorf("lfs: inode %d page %d outside device: block %d", ino, idx, b)
+			}
+			if prev, ok := owner[b]; ok {
+				return fmt.Errorf("lfs: block %d claimed by inode %d page %d and inode %d page %d",
+					b, prev.ino, prev.idx, ino, idx)
+			}
+			owner[b] = ownerRec{ino: ino, idx: int64(idx)}
+			seg := fs.segs[fs.SegOf(b)]
+			s := seg.slots[int(b)%fs.cfg.SegBlocks]
+			if !s.valid || s.ino != ino || s.idx != int64(idx) {
+				return fmt.Errorf("lfs: block %d slot %+v does not match owner inode %d page %d", b, s, ino, idx)
+			}
+		}
+	}
+
+	// Pass 2: per-segment — valid counts match the slot tables, no valid
+	// slot is orphaned, and each state agrees with the bitmaps.
+	pinned := make(map[int]bool, len(fs.pinnedSegs))
+	for _, si := range fs.pinnedSegs {
+		if pinned[si] {
+			return fmt.Errorf("lfs: segment %d pinned twice", si)
+		}
+		pinned[si] = true
+	}
+	for si, seg := range fs.segs {
+		valid := 0
+		for k, s := range seg.slots {
+			if !s.valid {
+				continue
+			}
+			valid++
+			b := int64(si*fs.cfg.SegBlocks + k)
+			o, ok := owner[b]
+			if !ok || o.ino != s.ino || o.idx != s.idx {
+				return fmt.Errorf("lfs: segment %d slot %d valid for inode %d page %d, but no file maps it", si, k, s.ino, s.idx)
+			}
+		}
+		if valid != seg.Valid {
+			return fmt.Errorf("lfs: segment %d Valid=%d but %d valid slots", si, seg.Valid, valid)
+		}
+		free := fs.freeSegs.Test(uint64(si))
+		switch seg.State {
+		case SegFree:
+			if seg.Valid != 0 || !free {
+				return fmt.Errorf("lfs: free segment %d has Valid=%d, freeSegs=%v", si, seg.Valid, free)
+			}
+			if fs.partial.Test(uint64(si)) {
+				return fmt.Errorf("lfs: free segment %d marked partial", si)
+			}
+		case SegOpen:
+			if si != fs.curSeg {
+				return fmt.Errorf("lfs: segment %d open but curSeg=%d", si, fs.curSeg)
+			}
+			if free || fs.partial.Test(uint64(si)) {
+				return fmt.Errorf("lfs: open segment %d in free/partial sets", si)
+			}
+		case SegFull:
+			if free {
+				return fmt.Errorf("lfs: full segment %d in free set", si)
+			}
+			if pinned[si] {
+				if seg.Valid != 0 && !fs.segPinned(si) {
+					return fmt.Errorf("lfs: segment %d pinned but revived without checkpoint references", si)
+				}
+				if fs.partial.Test(uint64(si)) && seg.Valid == 0 {
+					return fmt.Errorf("lfs: pinned segment %d marked partial", si)
+				}
+				continue
+			}
+			if seg.Valid == 0 {
+				return fmt.Errorf("lfs: full segment %d has no valid blocks and is not pinned", si)
+			}
+			wantPartial := seg.Valid < fs.cfg.SegBlocks
+			if fs.partial.Test(uint64(si)) != wantPartial {
+				return fmt.Errorf("lfs: segment %d (Valid=%d) partial bit %v", si, seg.Valid, !wantPartial)
+			}
+		}
+	}
+	if fs.curSeg >= 0 && fs.segs[fs.curSeg].State != SegOpen {
+		return fmt.Errorf("lfs: curSeg=%d but its state is %d", fs.curSeg, fs.segs[fs.curSeg].State)
+	}
+
+	// Pass 3: bucket lists — every linked segment is SegFull, unpinned,
+	// with matching Valid; every such segment is linked exactly once.
+	linked := make(map[int]bool, len(fs.segs))
+	for v, head := range fs.validBkt {
+		for si := head; si >= 0; si = fs.segs[si].bktNext {
+			seg := fs.segs[si]
+			if linked[int(si)] {
+				return fmt.Errorf("lfs: segment %d linked into buckets twice", si)
+			}
+			linked[int(si)] = true
+			if seg.State != SegFull || seg.Valid != v || pinned[int(si)] {
+				return fmt.Errorf("lfs: bucket %d holds segment %d (state %d, Valid=%d, pinned %v)",
+					v, si, seg.State, seg.Valid, pinned[int(si)])
+			}
+		}
+	}
+	for si, seg := range fs.segs {
+		if seg.State == SegFull && !pinned[si] && !linked[si] {
+			return fmt.Errorf("lfs: full segment %d (Valid=%d) missing from buckets", si, seg.Valid)
+		}
+	}
+
+	// Pass 4 (durability): checkpoint-referenced blocks must exist on the
+	// device, and pinned segments must actually hold at least one.
+	if fs.durable != nil {
+		bad := error(nil)
+		fs.cpRef.IterateSet(func(b uint64) bool {
+			if int64(b) >= nb {
+				bad = fmt.Errorf("lfs: checkpoint references block %d outside device", b)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+		for _, si := range fs.pinnedSegs {
+			if fs.segs[si].Valid == 0 && !fs.segPinned(si) {
+				return fmt.Errorf("lfs: segment %d pinned without checkpoint references", si)
+			}
+		}
+	}
+	return nil
+}

@@ -84,17 +84,23 @@ type Inode struct {
 
 // Stats counts filesystem and cleaner activity.
 type Stats struct {
-	WritesPages    int64
-	ReadsPages     int64
-	MissPages      int64
-	WritebackPages int64
-	Invalidations  int64
-	SegsFreed      int64
-	SegsCleaned    int64
-	GCBlocksMoved  int64
-	GCBlocksRead   int64 // valid blocks the cleaner had to read from disk
-	GCBlocksCached int64 // valid blocks the cleaner found in cache
-	InPlaceWrites  int64 // writes forced into scattered invalid slots
+	WritesPages     int64
+	ReadsPages      int64
+	MissPages       int64
+	WritebackPages  int64
+	WritebackErrors int64 // writeback device errors (partial or total)
+	Invalidations   int64
+	SegsFreed       int64
+	SegsCleaned     int64
+	GCBlocksMoved   int64
+	GCBlocksRead    int64 // valid blocks the cleaner had to read from disk
+	GCBlocksCached  int64 // valid blocks the cleaner found in cache
+	InPlaceWrites   int64 // writes forced into scattered invalid slots
+	GCSyncErrors    int64 // cleaner urgent-sync failures (data left dirty)
+	GCReadErrors    int64 // cleaner device-read failures (pass abandoned)
+	Commits         int64 // durability barriers completed
+	SegsPinned      int64 // zero-valid segments parked for checkpoint safety
+	RolledForward   int64 // pages recovered from the summary log at remount
 }
 
 // Config holds filesystem geometry.
@@ -140,6 +146,14 @@ type FS struct {
 	// block on device I/O, so several can be live in virtual time).
 	missBufs   *missBuf
 	placedBufs *placedBuf
+
+	// Durability state (nil/empty unless EnableDurability; see durable.go).
+	durable     *lfsCheckpoint
+	durLog      []durRec
+	durSeq      uint64
+	cpRef       *bitmap.Sparse // blocks the last checkpoint references
+	pinnedSegs  []int          // zero-valid segments kept unfree (cpRef inside)
+	quarScratch []pagecache.PageKey
 }
 
 // New creates a log-structured filesystem spanning the device.
@@ -236,10 +250,15 @@ func (fs *FS) putMissBuf(b *missBuf) {
 	fs.missBufs = b
 }
 
+// placed is a writeback staging record. pos is the record's position in
+// the caller's index slice (so the persisted prefix survives the
+// by-block sort); ok marks records whose device write completed.
 type placed struct {
 	idx   int64
 	block int64
 	ver   uint64
+	pos   int
+	ok    bool
 }
 
 type placedBuf struct {
@@ -493,6 +512,12 @@ func (fs *FS) invalidate(b int64) {
 }
 
 func (fs *FS) freeSegment(si int) {
+	if fs.durable != nil && fs.segPinned(si) {
+		// The last checkpoint still references blocks in this segment:
+		// park it instead of recycling (durable.go drains at commit).
+		fs.pinSegment(si)
+		return
+	}
 	seg := fs.segs[si]
 	seg.State = SegFree
 	for k := range seg.slots {
@@ -547,33 +572,46 @@ func (fs *FS) logAlloc() int64 {
 // straight at the lowest-numbered full segment with a hole, replacing the
 // full-device scan.
 func (fs *FS) inPlaceAlloc() int64 {
-	si64, ok := fs.partial.NextSet(0)
-	if !ok {
-		return NoBlock
-	}
-	si := int(si64)
-	for k, s := range fs.segs[si].slots {
-		if !s.valid {
+	for si64, ok := fs.partial.NextSet(0); ok; si64, ok = fs.partial.NextSet(si64 + 1) {
+		si := int(si64)
+		base := si * fs.cfg.SegBlocks
+		for k, s := range fs.segs[si].slots {
+			if s.valid {
+				continue
+			}
+			b := int64(base + k)
+			if fs.durable != nil && fs.cpRef.Test(uint64(b)) {
+				// Invalid, but the last checkpoint still references it:
+				// overwriting would destroy committed data.
+				continue
+			}
 			fs.stats.InPlaceWrites++
-			return int64(si*fs.cfg.SegBlocks + k)
+			return b
+		}
+		if fs.durable == nil {
+			panic("lfs: partial segment with no invalid slot")
 		}
 	}
-	panic("lfs: partial segment with no invalid slot")
+	return NoBlock
 }
 
 // WritebackPages implements pagecache.Backend: dirty pages are appended
 // to the log (or written in place under segment pressure), and their old
-// locations are invalidated.
-func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
+// locations are invalidated. It returns how many leading entries of
+// indices are durably on the medium (all on success; on a device error
+// the prefix whose coalesced writes completed, extended into a torn
+// run's persisted blocks). Running out of segments persists nothing —
+// placement happens before any device write is issued.
+func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) (int, error) {
 	ino := Ino(inoN)
 	i, ok := fs.inodes[ino]
 	if !ok {
-		return nil // deleted while dirty
+		return len(indices), nil // deleted while dirty
 	}
 	pb := fs.getPlacedBuf()
 	defer fs.putPlacedBuf(pb)
 	out := pb.p
-	for _, idxU := range indices {
+	for pos, idxU := range indices {
 		idx := int64(idxU)
 		if idx >= int64(len(i.blocks)) {
 			continue
@@ -583,7 +621,10 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 			b = fs.inPlaceAlloc()
 		}
 		if b == NoBlock {
-			return fmt.Errorf("%w: writeback of inode %d", ErrNoSpace, ino)
+			// No placement, no device writes issued yet: the historical
+			// contract (nothing persisted, everything stays dirty).
+			pb.p = out
+			return 0, fmt.Errorf("%w: writeback of inode %d", ErrNoSpace, ino)
 		}
 		old := i.blocks[idx]
 		si := fs.SegOf(b)
@@ -602,29 +643,57 @@ func (fs *FS) WritebackPages(p *sim.Proc, inoN uint64, indices []uint64) error {
 		if old != NoBlock {
 			fs.invalidate(old)
 		}
-		out = append(out, placed{idx: idx, block: b, ver: i.vers[idx]})
+		out = append(out, placed{idx: idx, block: b, ver: i.vers[idx], pos: pos})
 	}
 	pb.p = out
 	// Device writes: coalesce physically contiguous placements (log
 	// appends are naturally sequential; in-place writes are scattered).
 	slices.SortFunc(out, func(a, b placed) int { return cmp.Compare(a.block, b.block) })
+	var wbErr error
 	for s := 0; s < len(out); {
 		e := s + 1
 		for e < len(out) && out[e].block == out[e-1].block+1 {
 			e++
 		}
-		if err := fs.disk.Write(p, out[s].block, e-s, storage.ClassNormal, "writeback"); err != nil {
-			return err
+		err := fs.disk.Write(p, out[s].block, e-s, storage.ClassNormal, "writeback")
+		done := e - s
+		if err != nil {
+			done = 0
+			if k, torn := storage.TornBlocks(err); torn {
+				done = k
+			}
+		}
+		for k := s; k < s+done; k++ {
+			out[k].ok = true
+		}
+		if err != nil {
+			wbErr = err
+			break
 		}
 		s = e
 	}
+	applied := 0
 	for _, pl := range out {
+		if !pl.ok {
+			continue
+		}
+		applied++
 		if i.blocks[pl.idx] == pl.block {
 			fs.diskVer[pl.block] = pl.ver
+			fs.logDurable(ino, pl.idx, pl.block, pl.ver)
 		}
 	}
-	fs.stats.WritebackPages += int64(len(out))
-	return nil
+	persisted := len(indices)
+	for _, pl := range out {
+		if !pl.ok && pl.pos < persisted {
+			persisted = pl.pos
+		}
+	}
+	fs.stats.WritebackPages += int64(applied)
+	if wbErr != nil {
+		fs.stats.WritebackErrors++
+	}
+	return persisted, wbErr
 }
 
 // Sync writes back all dirty pages.

@@ -25,11 +25,13 @@
 package pagecache
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"duet/internal/rbtree"
 	"duet/internal/sim"
+	"duet/internal/storage"
 )
 
 // EventType is a page-cache event, as in Table 2 of the paper.
@@ -126,7 +128,18 @@ type Page struct {
 	// holder's pointer stays frozen rather than aliasing a new page.
 	resident bool
 	pins     int32
+
+	// quarantined marks a dirty page whose writeback failed permanently
+	// (storage.ErrWriteFault): it stays dirty but is withheld from the
+	// dirty tree, so the flusher stops hammering a dead destination. The
+	// data is preserved until Requeue (after repair/remap) or until
+	// reclaim is forced to drop it, which is counted in Stats.LostPages.
+	quarantined bool
 }
+
+// Quarantined reports whether the page is held out of writeback after a
+// permanent write fault.
+func (pg *Page) Quarantined() bool { return pg.quarantined }
 
 // Hook receives page events. Duet implements this interface.
 type Hook interface {
@@ -160,8 +173,12 @@ type EvictionAdvisor interface {
 type Backend interface {
 	// WritebackPages performs device writes for the (sorted, same-inode)
 	// page indices. It is called from the flusher or eviction path and may
-	// block in virtual time.
-	WritebackPages(p *sim.Proc, ino uint64, indices []uint64) error
+	// block in virtual time. It returns how many leading entries of
+	// indices are durably persisted — len(indices) on success; on a torn
+	// or failed write the prefix that still reached the medium — plus the
+	// first error. The cache marks the persisted prefix clean and keeps
+	// the rest dirty.
+	WritebackPages(p *sim.Proc, ino uint64, indices []uint64) (int, error)
 }
 
 // Config holds cache tunables.
@@ -201,6 +218,13 @@ type Stats struct {
 	EventsDispatched int64
 	EventsFiltered   int64 // events skipped by the hook interest mask
 	AdvisorDeferrals int64 // reclaim scans that passed over advised pages
+
+	// Writeback failure accounting (nonzero only when the backing device
+	// fails requests; see internal/faults).
+	WritebackErrors  int64 // backend writeback calls that returned an error
+	QuarantineEvents int64 // pages quarantined after a permanent write fault
+	RequeuedPages    int64 // quarantined pages released back to writeback
+	LostPages        int64 // dirty pages reclaim was forced to drop
 }
 
 // arenaSlabPages is the growth quantum of the page arena. The arena
@@ -274,6 +298,10 @@ type Cache struct {
 	stats    Stats
 
 	lruHead, lruTail *Page // lruHead = most recently used
+
+	// quar lists quarantined pages in insertion order (bounded by the
+	// cache capacity; scanned only on quarantine-state changes).
+	quar []PageKey
 
 	arena     pageArena
 	flFree    *fileList
@@ -573,12 +601,23 @@ func (c *Cache) makeRoom(p *sim.Proc) {
 			tail := c.lruTail
 			tail.pins++
 			c.stats.DirtyEvictions++
+			// A writeback failure here is classified, counted
+			// (Stats.WritebackErrors), and acted on inside SyncFile
+			// (transient: pages stay dirty; permanent: quarantined);
+			// reclaim just rescans for whatever came clean.
 			_ = c.SyncFile(p, tail.Key.FS, tail.Key.Ino)
 			victim = c.pickVictim()
 			if victim == nil {
 				// The file was re-dirtied or empty: fall back to a single
 				// forced page writeback.
 				c.writebackOne(p, tail)
+				if tail.Dirty && tail.resident {
+					// The forced writeback failed too (or the page is
+					// quarantined) and memory pressure leaves no choice:
+					// the page is dropped with its data, recorded rather
+					// than silently swallowed.
+					c.stats.LostPages++
+				}
 				victim = tail
 			}
 			tail.pins--
@@ -617,19 +656,30 @@ func (c *Cache) pickVictim() *Page {
 	return fallback
 }
 
-// writebackOne synchronously writes a single dirty page back.
+// writebackOne synchronously writes a single dirty page back. On
+// failure the page stays dirty (or is quarantined, for a permanent
+// fault); the caller decides whether it must be dropped anyway.
 func (c *Cache) writebackOne(p *sim.Proc, pg *Page) {
 	b := c.backends[pg.Key.FS]
 	if b == nil {
 		panic(fmt.Sprintf("pagecache: no backend for fs %d", pg.Key.FS))
 	}
+	if pg.quarantined {
+		return
+	}
 	key, ver := pg.Key, pg.Version
 	one := c.getBatch()
 	one.idx = append(one.idx, key.Index)
-	_ = b.WritebackPages(p, key.Ino, one.idx)
+	one.vers = append(one.vers, ver)
+	n, err := b.WritebackPages(p, key.Ino, one.idx)
+	c.stats.WritebackPages += int64(n)
+	if n > 0 {
+		c.markCleanIf(key, ver)
+	}
+	if err != nil {
+		c.wbFailed(err, key.FS, key.Ino, one.idx[n:], one.vers[n:])
+	}
 	c.putBatch(one)
-	c.stats.WritebackPages++
-	c.markCleanIf(key, ver)
 }
 
 // removePage drops the page from all indices, fires ev, and recycles the
@@ -646,6 +696,9 @@ func (c *Cache) removePage(pg *Page, ev EventType) {
 	}
 	if pg.resident {
 		c.lruRemove(pg)
+		if pg.quarantined {
+			c.unquarantine(pg)
+		}
 		if pg.Dirty {
 			c.dirty.Delete(pg.Key)
 			pg.Dirty = false
@@ -681,7 +734,7 @@ func (c *Cache) MarkDirty(pg *Page, version uint64) {
 // writeback captured, firing Flushed. Re-dirtied pages stay dirty.
 func (c *Cache) markCleanIf(key PageKey, version uint64) {
 	pg, ok := c.pages.get(key)
-	if !ok || !pg.Dirty || pg.Version != version {
+	if !ok || !pg.Dirty || pg.quarantined || pg.Version != version {
 		return
 	}
 	pg.Dirty = false
@@ -764,6 +817,9 @@ func (c *Cache) Iterate(fn func(pg *Page) bool) {
 }
 
 // SyncFile writes back all dirty pages of one file immediately.
+// Quarantined pages are skipped (their destination is known-broken); on
+// a partial failure the persisted prefix is marked clean and the rest
+// handled per wbFailed.
 func (c *Cache) SyncFile(p *sim.Proc, fs FSID, ino uint64) error {
 	fl := c.files.get(FileKey{fs, ino})
 	if fl == nil {
@@ -771,7 +827,7 @@ func (c *Cache) SyncFile(p *sim.Proc, fs FSID, ino uint64) error {
 	}
 	b := c.getBatch()
 	for pg := fl.head; pg != nil; pg = pg.fileNext {
-		if pg.Dirty {
+		if pg.Dirty && !pg.quarantined {
 			b.idx = append(b.idx, pg.Key.Index)
 			b.vers = append(b.vers, pg.Version)
 		}
@@ -784,16 +840,16 @@ func (c *Cache) SyncFile(p *sim.Proc, fs FSID, ino uint64) error {
 	if be == nil {
 		panic(fmt.Sprintf("pagecache: no backend for fs %d", fs))
 	}
-	if err := be.WritebackPages(p, ino, b.idx); err != nil {
-		c.putBatch(b)
-		return err
+	n, err := be.WritebackPages(p, ino, b.idx)
+	c.stats.WritebackPages += int64(n)
+	for i := 0; i < n; i++ {
+		c.markCleanIf(PageKey{fs, ino, b.idx[i]}, b.vers[i])
 	}
-	c.stats.WritebackPages += int64(len(b.idx))
-	for i, ix := range b.idx {
-		c.markCleanIf(PageKey{fs, ino, ix}, b.vers[i])
+	if err != nil {
+		c.wbFailed(err, fs, ino, b.idx[n:], b.vers[n:])
 	}
 	c.putBatch(b)
-	return nil
+	return err
 }
 
 // Sync writes back every dirty page.
@@ -844,13 +900,91 @@ func (c *Cache) flushExpired(p *sim.Proc, minAge sim.Time) {
 			panic(fmt.Sprintf("pagecache: no backend for fs %d", fk.FS))
 		}
 		lo, hi := b.off[i], b.off[i+1]
-		if err := be.WritebackPages(p, fk.Ino, b.idx[lo:hi]); err != nil {
-			continue // transient write errors leave pages dirty for retry
-		}
-		c.stats.WritebackPages += int64(hi - lo)
-		for j := lo; j < hi; j++ {
+		n, err := be.WritebackPages(p, fk.Ino, b.idx[lo:hi])
+		c.stats.WritebackPages += int64(n)
+		for j := lo; j < lo+n; j++ {
 			c.markCleanIf(PageKey{fk.FS, fk.Ino, b.idx[j]}, b.vers[j])
+		}
+		if err != nil {
+			// Unpersisted pages stay dirty for retry; permanent faults
+			// quarantine them instead of retrying forever.
+			c.wbFailed(err, fk.FS, fk.Ino, b.idx[lo+n:hi], b.vers[lo+n:hi])
 		}
 	}
 	c.putBatch(b)
+}
+
+// wbFailed handles the unpersisted remainder of a failed writeback
+// call. Transient device errors (including timeouts) re-dirty the pages
+// — the expiry clock restarts so the flusher retries after a backoff
+// rather than immediately. A permanent write fault quarantines them:
+// data is held in memory, off the writeback path, until Requeue.
+// Any other error (e.g. an lfs out-of-space) leaves the pages exactly
+// as they were, preserving the historical retry behavior.
+func (c *Cache) wbFailed(err error, fs FSID, ino uint64, idx, vers []uint64) {
+	c.stats.WritebackErrors++
+	permanent := errors.Is(err, storage.ErrWriteFault)
+	transient := storage.IsTransient(err)
+	if !permanent && !transient {
+		return
+	}
+	now := c.eng.Now()
+	for i, ix := range idx {
+		pg, ok := c.pages.get(PageKey{fs, ino, ix})
+		if !ok || !pg.Dirty || pg.quarantined {
+			continue
+		}
+		if permanent && pg.Version == vers[i] {
+			c.quarantine(pg)
+			continue
+		}
+		pg.DirtyAt = now
+	}
+}
+
+// quarantine parks a dirty page out of the writeback path after a
+// permanent fault. The page keeps its data and dirty bit but leaves the
+// dirty tree, so flusher and sync passes skip it.
+func (c *Cache) quarantine(pg *Page) {
+	pg.quarantined = true
+	c.dirty.Delete(pg.Key)
+	c.quar = append(c.quar, pg.Key)
+	c.stats.QuarantineEvents++
+}
+
+// Quarantined appends the keys of currently quarantined pages to dst
+// and returns it (insertion order).
+func (c *Cache) Quarantined(dst []PageKey) []PageKey {
+	return append(dst, c.quar...)
+}
+
+// QuarantinedLen returns the number of quarantined pages.
+func (c *Cache) QuarantinedLen() int { return len(c.quar) }
+
+// Requeue releases a quarantined page back into the writeback path —
+// called after the underlying fault is repaired (block remapped or
+// rewritten). The expiry clock restarts at now.
+func (c *Cache) Requeue(key PageKey) bool {
+	pg, ok := c.pages.get(key)
+	if !ok || !pg.quarantined {
+		return false
+	}
+	c.unquarantine(pg)
+	pg.DirtyAt = c.eng.Now()
+	c.dirty.Set(pg.Key, pg)
+	c.stats.RequeuedPages++
+	c.flusherKick.WakeAll()
+	return true
+}
+
+// unquarantine clears the flag and drops the key from the quarantine
+// list.
+func (c *Cache) unquarantine(pg *Page) {
+	pg.quarantined = false
+	for i, k := range c.quar {
+		if k == pg.Key {
+			c.quar = append(c.quar[:i], c.quar[i+1:]...)
+			break
+		}
+	}
 }

@@ -27,9 +27,9 @@ type nullBackend struct {
 	pagesWritten int
 }
 
-func (b *nullBackend) WritebackPages(p *sim.Proc, ino uint64, indices []uint64) error {
+func (b *nullBackend) WritebackPages(p *sim.Proc, ino uint64, indices []uint64) (int, error) {
 	b.pagesWritten += len(indices)
-	return nil
+	return len(indices), nil
 }
 
 // harness bundles an engine, cache, backend and hook for tests.
@@ -347,9 +347,9 @@ type slowBackend struct {
 	delay sim.Time
 }
 
-func (b *slowBackend) WritebackPages(p *sim.Proc, ino uint64, indices []uint64) error {
+func (b *slowBackend) WritebackPages(p *sim.Proc, ino uint64, indices []uint64) (int, error) {
 	p.Sleep(b.delay)
-	return nil
+	return len(indices), nil
 }
 
 func TestRemoveHook(t *testing.T) {

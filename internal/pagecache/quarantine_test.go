@@ -1,0 +1,179 @@
+package pagecache
+
+import (
+	"testing"
+
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// faultBackend scripts one outcome per WritebackPages call: errs[i] is
+// the error, persist[i] the count reported as durably written (-1 = all).
+// Calls beyond the script succeed in full. always, when non-nil, overrides
+// the script and fails every call with no progress.
+type faultBackend struct {
+	errs    []error
+	persist []int
+	always  error
+	calls   int
+}
+
+func (b *faultBackend) WritebackPages(p *sim.Proc, ino uint64, indices []uint64) (int, error) {
+	i := b.calls
+	b.calls++
+	if b.always != nil {
+		return 0, b.always
+	}
+	if i >= len(b.errs) || b.errs[i] == nil {
+		return len(indices), nil
+	}
+	n := len(indices)
+	if i < len(b.persist) && b.persist[i] >= 0 {
+		n = b.persist[i]
+	}
+	return n, b.errs[i]
+}
+
+func newFaultHarness(capacity int, b *faultBackend) *harness {
+	e := sim.New(1)
+	c := New(e, DefaultConfig(capacity))
+	c.RegisterFS(1, b)
+	h := newRecordingHook()
+	c.AddHook(h)
+	return &harness{e: e, c: c, hook: h}
+}
+
+func TestPermanentFaultQuarantinesAndRequeues(t *testing.T) {
+	fb := &faultBackend{errs: []error{storage.ErrWriteFault}, persist: []int{0}}
+	h := newFaultHarness(8, fb)
+	h.in(t, func(p *sim.Proc) {
+		pg := h.c.Insert(p, key(1, 0), 1)
+		h.c.MarkDirty(pg, 2)
+		if err := h.c.SyncFile(p, 1, 1); err == nil {
+			t.Fatal("SyncFile should report the write fault")
+		}
+		if !pg.Quarantined() {
+			t.Fatal("page not quarantined after permanent fault")
+		}
+		if !pg.Dirty {
+			t.Error("quarantined page must keep its dirty data")
+		}
+		if h.c.DirtyLen() != 0 {
+			t.Errorf("DirtyLen = %d: quarantined page still on writeback path", h.c.DirtyLen())
+		}
+		if h.c.QuarantinedLen() != 1 {
+			t.Errorf("QuarantinedLen = %d, want 1", h.c.QuarantinedLen())
+		}
+
+		// Further syncs must skip the quarantined page entirely.
+		if err := h.c.SyncFile(p, 1, 1); err != nil {
+			t.Errorf("sync with only quarantined pages: %v", err)
+		}
+		if fb.calls != 1 {
+			t.Errorf("backend called %d times; quarantined page retried", fb.calls)
+		}
+
+		// Requeue (fault repaired): page returns to the dirty tree and the
+		// next sync persists it.
+		if !h.c.Requeue(key(1, 0)) {
+			t.Fatal("Requeue failed")
+		}
+		if pg.Quarantined() || h.c.DirtyLen() != 1 {
+			t.Error("requeued page not back on the writeback path")
+		}
+		if err := h.c.SyncFile(p, 1, 1); err != nil {
+			t.Fatalf("sync after requeue: %v", err)
+		}
+		if pg.Dirty {
+			t.Error("page still dirty after successful writeback")
+		}
+	})
+	st := h.c.Stats()
+	if st.WritebackErrors != 1 || st.QuarantineEvents != 1 || st.RequeuedPages != 1 {
+		t.Errorf("stats = errors %d, quarantined %d, requeued %d; want 1/1/1",
+			st.WritebackErrors, st.QuarantineEvents, st.RequeuedPages)
+	}
+	if st.LostPages != 0 {
+		t.Errorf("LostPages = %d, want 0", st.LostPages)
+	}
+}
+
+func TestTransientFaultRedirtiesForRetry(t *testing.T) {
+	fb := &faultBackend{errs: []error{storage.ErrTransient}, persist: []int{0}}
+	h := newFaultHarness(8, fb)
+	h.in(t, func(p *sim.Proc) {
+		pg := h.c.Insert(p, key(1, 0), 1)
+		h.c.MarkDirty(pg, 2)
+		if err := h.c.SyncFile(p, 1, 1); err == nil {
+			t.Fatal("SyncFile should report the transient fault")
+		}
+		if pg.Quarantined() {
+			t.Error("transient fault must not quarantine")
+		}
+		if !pg.Dirty || h.c.DirtyLen() != 1 {
+			t.Error("page should stay dirty for retry")
+		}
+		// Retry succeeds (script exhausted).
+		if err := h.c.SyncFile(p, 1, 1); err != nil {
+			t.Fatalf("retry: %v", err)
+		}
+		if pg.Dirty {
+			t.Error("page dirty after successful retry")
+		}
+	})
+}
+
+func TestPartialPersistCleansPrefixOnly(t *testing.T) {
+	// The backend persists 2 of 4 pages then fails transiently: the
+	// persisted prefix must come clean, the remainder stays dirty.
+	fb := &faultBackend{errs: []error{storage.ErrTransient}, persist: []int{2}}
+	h := newFaultHarness(8, fb)
+	h.in(t, func(p *sim.Proc) {
+		for i := uint64(0); i < 4; i++ {
+			pg := h.c.Insert(p, key(1, i), 1)
+			h.c.MarkDirty(pg, 2)
+		}
+		if err := h.c.SyncFile(p, 1, 1); err == nil {
+			t.Fatal("SyncFile should report the fault")
+		}
+		for i := uint64(0); i < 4; i++ {
+			pg, ok := h.c.Peek(key(1, i))
+			if !ok {
+				t.Fatalf("page %d missing", i)
+			}
+			wantDirty := i >= 2
+			if pg.Dirty != wantDirty {
+				t.Errorf("page %d dirty = %v, want %v", i, pg.Dirty, wantDirty)
+			}
+		}
+		if h.c.DirtyLen() != 2 {
+			t.Errorf("DirtyLen = %d, want 2", h.c.DirtyLen())
+		}
+	})
+}
+
+func TestForcedEvictionOfQuarantinedPageCountsLost(t *testing.T) {
+	// Every writeback fails permanently and the cache is saturated with
+	// dirty pages: reclaim has no clean victim, quarantines the lot, and
+	// is forced to drop one page's data — which must be counted, never
+	// silently swallowed.
+	fb := &faultBackend{always: storage.ErrWriteFault}
+	h := newFaultHarness(2, fb)
+	h.in(t, func(p *sim.Proc) {
+		for i := uint64(0); i < 2; i++ {
+			pg := h.c.Insert(p, key(1, i), 1)
+			h.c.MarkDirty(pg, 2)
+		}
+		h.c.Insert(p, key(1, 9), 1) // forces eviction
+		if h.c.Len() != 2 {
+			t.Errorf("Len = %d, want 2", h.c.Len())
+		}
+	})
+	st := h.c.Stats()
+	if st.LostPages != 1 {
+		t.Errorf("LostPages = %d, want 1", st.LostPages)
+	}
+	if st.QuarantineEvents == 0 {
+		t.Error("no pages quarantined on the way down")
+	}
+}

@@ -113,6 +113,16 @@ type Stats struct {
 	ByOwner      map[string]*OwnerStats
 	ByClassBusy  [numClasses]sim.Time
 	BadBlockHits int64
+
+	// Fault and recovery accounting. All zero unless a FaultInjector is
+	// attached (see faults.go).
+	TransientFaults int64    // injected transient errors observed
+	PermanentFaults int64    // injected permanent errors propagated
+	TornWrites      int64    // permanent errors that were torn writes
+	Stalls          int64    // attempts delayed by an injected stall
+	Retries         int64    // retry attempts issued by the executor
+	Timeouts        int64    // requests failed on the deadline
+	BackoffTime     sim.Time // virtual time spent backing off
 }
 
 // Owner returns (allocating if needed) the stats bucket for an owner.
@@ -142,6 +152,10 @@ type Disk struct {
 	badBlocks  map[int64]bool
 	inFlight   *Request
 	reqFree    *Request // recycled requests for the blocking Read/Write wrappers
+
+	// Fault injection (nil/zero on the fault-free path; see faults.go).
+	injector FaultInjector
+	retry    RetryPolicy
 }
 
 // NewDisk creates a disk and starts its executor process on e.
@@ -312,6 +326,10 @@ func (d *Disk) sleepOrKick(p *sim.Proc, wait sim.Time) {
 }
 
 func (d *Disk) service(p *sim.Proc, r *Request) {
+	if d.injector != nil {
+		d.serviceFaulty(p, r)
+		return
+	}
 	st := d.model.ServiceTime(r, d.headPos)
 	d.inFlight = r
 	p.Sleep(st)

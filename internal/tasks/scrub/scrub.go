@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"duet/internal/bitmap"
 	"duet/internal/core"
 	"duet/internal/cowfs"
 	"duet/internal/sim"
@@ -35,6 +36,10 @@ type Config struct {
 	Class storage.Class
 	// Repair fixes detected corruption in place.
 	Repair bool
+	// MaxQueue, when positive, overrides the Duet session's bounded
+	// fetch queue (the robustness experiments shrink it to force the
+	// degraded-mode fallback; zero keeps core.DefaultMaxItems).
+	MaxQueue int
 }
 
 // DefaultConfig returns the standard scrubber settings.
@@ -55,6 +60,12 @@ type Scrubber struct {
 	session *core.Session
 	cursor  int64
 	fetch   []core.Item
+	// eventDone tracks blocks marked scrubbed on event evidence alone (no
+	// device read by us). When the session turns lossy those marks are the
+	// ones that can no longer be trusted: the degraded-mode fallback
+	// unmarks them inside the suspect range so the sequential scan
+	// re-covers them.
+	eventDone *bitmap.Sparse
 }
 
 // New creates a baseline scrubber.
@@ -87,6 +98,10 @@ func (s *Scrubber) Run(p *sim.Proc) error {
 			return fmt.Errorf("scrub: %w", err)
 		}
 		s.session = sess
+		if s.Cfg.MaxQueue > 0 {
+			sess.MaxItems = s.Cfg.MaxQueue
+		}
+		s.eventDone = bitmap.New()
 		defer func() { _ = sess.Close() }()
 		// Harvest continuously: even while the scan is starved waiting
 		// for idle-priority I/O, workload events keep marking blocks
@@ -134,6 +149,9 @@ func (s *Scrubber) harvest() {
 	if s.session == nil {
 		return
 	}
+	if lo, hi, ok := s.session.TakeDegradedRange(); ok {
+		s.degradedFallback(lo, hi)
+	}
 	for {
 		n := s.session.FetchInto(s.fetch)
 		if n == 0 {
@@ -149,6 +167,7 @@ func (s *Scrubber) harvest() {
 				// otherwise the next scrub cycle picks it up (§6.2).
 				if int64(blk) >= ahead {
 					s.session.UnsetDone(blk)
+					s.eventDone.Unset(blk)
 				}
 				continue
 			}
@@ -156,11 +175,35 @@ func (s *Scrubber) harvest() {
 				// Verified by the filesystem read path.
 				if int64(blk) >= ahead && !s.session.CheckDone(blk) {
 					s.session.SetDone(blk)
+					s.eventDone.Set(blk)
 					s.Report.Saved++
 					s.Report.WorkDone++
 				}
 			}
 		}
+	}
+}
+
+// degradedFallback compensates for a lossy session: event-based done
+// marks inside the suspect range [lo, hi] are no longer trustworthy
+// (a Dirtied notification for them may have been dropped), so they are
+// returned to the sequential scan. Blocks the scan already claimed keep
+// their marks — the scan read them itself — and, as with late dirtying,
+// the next scrub cycle covers anything behind the cursor.
+func (s *Scrubber) degradedFallback(lo, hi uint64) {
+	s.Report.Degraded++
+	if nb := uint64(s.FS.Disk().Blocks()); hi >= nb {
+		hi = nb - 1
+	}
+	if ahead := uint64(s.cursor + int64(s.Cfg.ChunkBlocks)); lo < ahead {
+		lo = ahead
+	}
+	for b, ok := s.eventDone.NextSet(lo); ok && b <= hi; b, ok = s.eventDone.NextSet(b + 1) {
+		s.eventDone.Unset(b)
+		s.session.UnsetDone(b)
+		s.Report.Saved--
+		s.Report.WorkDone--
+		s.Report.RescanBlocks++
 	}
 }
 

@@ -29,6 +29,12 @@ type Report struct {
 	WrittenBlocks int64
 	// Errors counts recoverable errors (e.g. corruptions found and fixed).
 	Errors int64
+	// Degraded counts times the task's Duet session overflowed and the
+	// task fell back to re-scanning a range it had trusted events for.
+	Degraded int64
+	// RescanBlocks counts work units returned to the scan queue by those
+	// degraded-mode fallbacks.
+	RescanBlocks int64
 	// Completed reports whether the task finished its full work list.
 	Completed bool
 	// Start and End bound the run in virtual time (End is the completion
