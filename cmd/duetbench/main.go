@@ -5,7 +5,7 @@
 // Usage:
 //
 //	duetbench [-scale tiny|small|full] [-seeds N] [-j N] [-experiment id[,id...]] [-list] [-bench-out file]
-//	          [-cpuprofile file] [-memprofile file]
+//	          [-cpuprofile file] [-memprofile file] [-trace file] [-metrics file]
 //
 // The default small scale reproduces the paper's ratios at laptop cost
 // (see internal/experiments); -scale full approximates the paper's
@@ -32,6 +32,7 @@ import (
 
 	"duet/internal/experiments"
 	"duet/internal/machine"
+	"duet/internal/obs"
 )
 
 // benchRecord is one experiment's entry in the BENCH json.
@@ -65,6 +66,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the progress line on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every cell to this file (forces -j 1)")
+	metricsOut := flag.String("metrics", "", "write the merged metrics registry to this file (.json for JSON, otherwise text)")
 	flag.Parse()
 
 	if *list {
@@ -82,9 +85,18 @@ func main() {
 	if *seeds > 0 {
 		scale.Seeds = *seeds
 	}
+	if *traceOut != "" && *workers != 1 {
+		// Trace events are collected per cell in completion order; only a
+		// sequential grid makes that order (and the file) deterministic.
+		fmt.Fprintf(os.Stderr, "duetbench: -trace forces -j 1 for a deterministic trace\n")
+		*workers = 1
+	}
 	experiments.Workers = *workers
 	if !*quiet {
 		experiments.Progress = os.Stderr
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		experiments.EnableObs(*traceOut != "")
 	}
 
 	if *cpuProfile != "" {
@@ -174,5 +186,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "duetbench: wrote %s (%.1fs over %d cells, %d workers)\n",
 			path, bench.TotalSeconds, bench.TotalCells, bench.Workers)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = obs.WriteTraceMulti(f, experiments.CellTraces())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duetbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "duetbench: wrote %s (%d cells)\n", *traceOut, len(experiments.CellTraces()))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			reg := experiments.ObsRegistry()
+			if strings.HasSuffix(*metricsOut, ".json") {
+				err = obs.WriteMetricsJSON(f, reg)
+			} else {
+				err = obs.WriteMetricsText(f, reg)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duetbench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "duetbench: wrote %s\n", *metricsOut)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"duet/internal/cowfs"
 	"duet/internal/machine"
 	"duet/internal/metrics"
+	"duet/internal/obs"
 	"duet/internal/sim"
 	"duet/internal/storage"
 	"duet/internal/tasks"
@@ -44,15 +45,25 @@ func main() {
 		sched       = flag.String("sched", "cfq", "I/O scheduler: cfq, deadline, noop")
 		window      = flag.Duration("window", 60*time.Second, "experiment window (virtual)")
 		seed        = flag.Int64("seed", 1, "simulation seed")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+		metricsOut  = flag.String("metrics", "", "write the metrics registry to this file (.json for JSON, otherwise text)")
 	)
 	flag.Parse()
 
+	var o *obs.Obs
+	if *traceOut != "" || *metricsOut != "" {
+		o = &obs.Obs{Metrics: obs.NewRegistry()}
+		if *traceOut != "" {
+			o.Trace = obs.NewTracer(obs.DefaultTraceEvents)
+		}
+	}
 	m, err := machine.New(machine.Config{
 		Seed:         *seed,
 		DeviceBlocks: *deviceMB * 256, // MB -> 4 KiB blocks
 		Device:       machine.DeviceKind(*device),
 		Scheduler:    *sched,
 		CachePages:   int(*cacheMB * 256),
+		Obs:          o,
 	})
 	fatal(err)
 	files, err := m.Populate(machine.DefaultPopulateSpec("/data", *dataMB*256))
@@ -179,6 +190,33 @@ func main() {
 	ds := m.Duet.Stats()
 	fmt.Printf("duet: %d hook calls, %d items fetched, %d descriptors peak, %d dropped\n",
 		ds.HookCalls, ds.ItemsFetched, ds.PeakDescs, ds.EventsDropped)
+
+	if o != nil {
+		for _, name := range []string{"scrub", "backup", "defrag", "avscan"} {
+			if r := reports[name]; r != nil {
+				tasks.ObserveRun(o, *r)
+			}
+		}
+		m.CollectMetrics(o.Metrics)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fatal(err)
+			fatal(obs.WriteTrace(f, "duetsim", o.Trace))
+			fatal(f.Close())
+			fmt.Fprintf(os.Stderr, "duetsim: wrote %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			fatal(err)
+			if strings.HasSuffix(*metricsOut, ".json") {
+				fatal(obs.WriteMetricsJSON(f, o.Metrics))
+			} else {
+				fatal(obs.WriteMetricsText(f, o.Metrics))
+			}
+			fatal(f.Close())
+			fmt.Fprintf(os.Stderr, "duetsim: wrote %s\n", *metricsOut)
+		}
+	}
 }
 
 func fatal(err error) {

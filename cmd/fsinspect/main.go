@@ -17,6 +17,7 @@ import (
 	"duet/internal/core"
 	"duet/internal/machine"
 	"duet/internal/metrics"
+	"duet/internal/obs"
 	"duet/internal/sim"
 	"duet/internal/storage"
 	"duet/internal/workload"
@@ -29,13 +30,19 @@ func main() {
 		warm    = flag.Int("warm", 10, "virtual seconds of webserver workload before the dump")
 		top     = flag.Int("top", 10, "how many files to list")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		showMet = flag.Bool("metrics", false, "run with observability on and dump the metrics registry")
 	)
 	flag.Parse()
 
+	var o *obs.Obs
+	if *showMet {
+		o = &obs.Obs{Metrics: obs.NewRegistry()}
+	}
 	m, err := machine.New(machine.Config{
 		Seed:         *seed,
 		DeviceBlocks: *dataMB * 256 * 4,
 		CachePages:   int(*cacheMB * 256),
+		Obs:          o,
 	})
 	fatal(err)
 	files, err := m.Populate(machine.DefaultPopulateSpec("/data", *dataMB*256))
@@ -184,6 +191,16 @@ func main() {
 	st := m.Duet.Stats()
 	fmt.Printf("\n== duet\nhook calls: %d, items fetched: %d, descriptors: %d (peak %d), dropped: %d, memory: %d B\n",
 		st.HookCalls, st.ItemsFetched, st.CurDescs, st.PeakDescs, st.EventsDropped, m.Duet.MemBytes())
+
+	if o != nil {
+		m.CollectMetrics(o.Metrics)
+		fmt.Println("\n== metrics")
+		rows := [][]string{}
+		for _, row := range o.Metrics.Rows() {
+			rows = append(rows, []string{row[0], row[1]})
+		}
+		metrics.RenderTable(os.Stdout, []string{"metric", "value"}, rows)
+	}
 }
 
 func fatal(err error) {

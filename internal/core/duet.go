@@ -134,6 +134,7 @@ type Duet struct {
 	globalMask Mask
 	table      descTable
 	stats      Stats
+	obs        *duetObs // nil unless observability is on (see obs.go)
 	// MeasureCPU enables real-time accounting of hook and fetch cost
 	// (used by the Figure 9 overhead experiment). Off by default: calling
 	// time.Now twice per page event is itself measurable.

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"duet/internal/obs"
+	"duet/internal/sim"
+)
+
+// Observability (internal/obs). Duet's page-event hot path stays
+// unprobed except for one nil check: with observability on, each
+// successful enqueue feeds a session queue-depth histogram, and the
+// moment a session turns lossy (the degraded-mode transition of §4.3)
+// is marked with an instant event — the single most useful signal when
+// tuning MaxItems. Cumulative Stats are absorbed by PublishMetrics.
+
+// duetObs holds the pre-resolved instruments; nil on d.obs disables
+// everything.
+type duetObs struct {
+	eng    *sim.Engine
+	tr     *obs.Tracer
+	tid    int32
+	qdepth *obs.Histogram // session fetch-queue depth after enqueue
+}
+
+// qdepthBounds buckets session queue depths; the top buckets matter
+// because MaxItems defaults are in the hundreds.
+var qdepthBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// EnableObs attaches observability to the framework. Call once at
+// machine assembly, before the simulation runs.
+func (d *Duet) EnableObs(e *sim.Engine, o *obs.Obs) {
+	if o == nil || (o.Trace == nil && o.Metrics == nil) {
+		return
+	}
+	st := &duetObs{eng: e, tr: o.Trace}
+	if o.Trace != nil {
+		st.tid = o.Trace.Track("duet")
+	}
+	if o.Metrics != nil {
+		st.qdepth = o.Metrics.Histogram("duet.session_qdepth", qdepthBounds)
+	}
+	d.obs = st
+}
+
+// observeEnqueue records the session's queue depth after an item landed.
+func (d *Duet) observeEnqueue(s *Session) {
+	d.obs.qdepth.Observe(int64(s.QueueLen()))
+}
+
+// observeDegraded marks the session's clean-to-lossy transition.
+func (d *Duet) observeDegraded() {
+	st := d.obs
+	if st.tr != nil {
+		st.tr.Instant(st.tid, "duet", "degraded", st.eng.Now())
+	}
+}
+
+// PublishMetrics absorbs the framework's cumulative counters into the
+// registry under "duet.*". Safe to call repeatedly; values are absolute
+// so re-absorption cannot double-count.
+func (d *Duet) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s := &d.stats
+	r.SetCounter("duet.hook_calls", s.HookCalls)
+	r.SetCounter("duet.hook_nanos", s.HookNanos)
+	r.SetCounter("duet.fetch_calls", s.FetchCalls)
+	r.SetCounter("duet.fetch_nanos", s.FetchNanos)
+	r.SetCounter("duet.items_fetched", s.ItemsFetched)
+	r.SetCounter("duet.events_dropped", s.EventsDropped)
+	r.SetCounter("duet.degraded_sessions", s.DegradedSessions)
+	r.SetCounter("duet.desc_allocs", s.DescAllocs)
+	r.SetCounter("duet.desc_frees", s.DescFrees)
+	r.Gauge("duet.cur_descs").SetMax(s.CurDescs)
+	r.Gauge("duet.peak_descs").SetMax(s.PeakDescs)
+}

@@ -290,6 +290,9 @@ func (s *Session) enqueue(desc *itemDesc) {
 	}
 	desc.queued |= bit
 	s.queue = append(s.queue, desc)
+	if s.d.obs != nil {
+		s.d.observeEnqueue(s)
+	}
 }
 
 // noteDrop records a queue-overflow drop for the degraded-mode protocol,
@@ -298,6 +301,9 @@ func (s *Session) noteDrop(desc *itemDesc) {
 	if !s.lossy {
 		s.lossy = true
 		s.d.stats.DegradedSessions++
+		if s.d.obs != nil {
+			s.d.observeDegraded()
+		}
 	}
 	var id uint64
 	if s.kind == blockTask {

@@ -116,6 +116,7 @@ type FS struct {
 	hooks  []VFSHook
 	wbTags map[Ino]wbTag
 	stats  Stats
+	obs    *fsObs // nil unless observability is on (see obs.go)
 
 	// Durability state (nil/empty until EnableDurability; see durable.go).
 	durable      *checkpoint

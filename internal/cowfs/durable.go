@@ -132,6 +132,10 @@ func (fs *FS) Commit(p *sim.Proc) error {
 	if fs.durable == nil {
 		return fmt.Errorf("cowfs: Commit without EnableDurability")
 	}
+	var commitStart sim.Time
+	if fs.obs != nil {
+		commitStart = p.Now()
+	}
 	inos := make([]Ino, 0, len(fs.inodes))
 	for ino, i := range fs.inodes {
 		if !i.Dir {
@@ -163,6 +167,9 @@ func (fs *FS) Commit(p *sim.Proc) error {
 	fs.durable = cp
 	fs.drainDeferred()
 	fs.stats.Commits++
+	if st := fs.obs; st != nil {
+		st.tr.Slice(st.tid, "cowfs", "commit", commitStart, p.Now())
+	}
 	return nil
 }
 

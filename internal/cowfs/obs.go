@@ -1,0 +1,47 @@
+package cowfs
+
+import (
+	"duet/internal/obs"
+)
+
+// Observability (internal/obs). The filesystem's read/write paths are
+// covered by the device tracks; what cowfs adds is the durability
+// barrier: each successful Commit becomes one virtual-time slice on the
+// filesystem's track, so snapshot/commit stalls are visible next to the
+// I/O that caused them. Cumulative Stats are absorbed by PublishMetrics.
+
+// fsObs holds the pre-resolved instruments; nil on fs.obs disables
+// everything.
+type fsObs struct {
+	tr  *obs.Tracer
+	tid int32
+}
+
+// EnableObs attaches observability to the filesystem. Call once at
+// machine assembly, before the simulation runs.
+func (fs *FS) EnableObs(o *obs.Obs) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	fs.obs = &fsObs{tr: o.Trace, tid: o.Trace.Track("cowfs")}
+}
+
+// PublishMetrics absorbs the filesystem's cumulative counters into the
+// registry under "cowfs.*". Safe to call repeatedly; values are
+// absolute so re-absorption cannot double-count.
+func (fs *FS) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s := &fs.stats
+	r.SetCounter("cowfs.reads_pages", s.ReadsPages)
+	r.SetCounter("cowfs.miss_pages", s.MissPages)
+	r.SetCounter("cowfs.writes_pages", s.WritesPages)
+	r.SetCounter("cowfs.writeback_pages", s.WritebackPages)
+	r.SetCounter("cowfs.writeback_errors", s.WritebackErrors)
+	r.SetCounter("cowfs.corruptions", s.Corruptions)
+	r.SetCounter("cowfs.scrub_errors", s.ScrubErrors)
+	r.SetCounter("cowfs.cow_reallocation", s.CowReallocation)
+	r.SetCounter("cowfs.commits", s.Commits)
+	r.Gauge("cowfs.free_blocks").Set(fs.freeBlocks)
+}

@@ -19,6 +19,7 @@ import (
 
 	"duet/internal/cowfs"
 	"duet/internal/machine"
+	"duet/internal/obs"
 	"duet/internal/sim"
 	"duet/internal/storage"
 	"duet/internal/tasks"
@@ -156,10 +157,21 @@ type env struct {
 	m     *machine.Machine
 	files []*cowfs.Inode
 	gen   *workload.Generator // nil when TargetUtil <= 0
+	spec  EnvSpec             // resolved spec (labels the cell's trace)
+	obs   *obs.Obs            // nil unless EnableObs is active
 }
 
-// build constructs the machine, population and (rate-resolved) workload.
+// build constructs the machine, population and (rate-resolved) workload
+// for one experiment cell, attaching per-cell observability when
+// enabled.
 func build(spec EnvSpec, rate float64) (*env, error) {
+	return buildWith(spec, rate, newCellObs())
+}
+
+// buildWith is build with an explicit obs handle (nil disables;
+// calibration probes pass nil so shared probes are never charged to a
+// cell).
+func buildWith(spec EnvSpec, rate float64, o *obs.Obs) (*env, error) {
 	spec = spec.withDefaults()
 	m, err := machine.New(machine.Config{
 		Seed:         spec.Seed,
@@ -172,6 +184,7 @@ func build(spec EnvSpec, rate float64) (*env, error) {
 		// it with the device so idle-class starvation behaves the same
 		// at reduced scales.
 		IdleGrace: sim.Time(2.5 * spec.Scale.DeviceSlow * float64(sim.Millisecond)),
+		Obs:       o,
 	})
 	if err != nil {
 		return nil, err
@@ -189,7 +202,7 @@ func build(spec EnvSpec, rate float64) (*env, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &env{m: m, files: files}
+	e := &env{m: m, files: files, spec: spec, obs: o}
 	if spec.TargetUtil > 0 {
 		gen, err := workload.New(m.Eng, m.FS, files, workload.Config{
 			Personality: spec.Personality,
@@ -277,7 +290,7 @@ const calSeed = 424242
 func measureUtil(spec EnvSpec, rate float64) (float64, error) {
 	probe := spec
 	probe.Seed = calSeed
-	e, err := build(probe, rate)
+	e, err := buildWith(probe, rate, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -567,6 +580,7 @@ func runTasksOn(e *env, taskNames []TaskName, duet bool, window sim.Time) (*Outc
 		out.Workload = e.gen.Stats()
 	}
 	out.Elapsed = eng.Now() - start
+	finishCell(e, out, duet)
 	return out, nil
 }
 

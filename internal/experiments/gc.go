@@ -8,6 +8,7 @@ import (
 	"duet/internal/lfs"
 	"duet/internal/machine"
 	"duet/internal/metrics"
+	"duet/internal/obs"
 	"duet/internal/sim"
 	"duet/internal/storage"
 	"duet/internal/tasks/gcduet"
@@ -52,13 +53,17 @@ func gcScaleFor(s Scale) gcScale {
 	return g
 }
 
-// newLFSMachine builds the bare machine for the GC experiments.
-func newLFSMachine(g gcScale, seed int64) (*machine.LFSMachine, error) {
+// newLFSMachine builds the bare machine for the GC experiments. o is
+// the cell's observability handle (nil when off, and for calibration
+// probes — they are shared through the calibration cache, so charging
+// them to a cell would make the registry depend on cache state).
+func newLFSMachine(g gcScale, seed int64, o *obs.Obs) (*machine.LFSMachine, error) {
 	return machine.NewLFS(machine.Config{
 		Seed:         seed,
 		DeviceBlocks: g.deviceBlocks,
 		Model:        storage.DefaultHDD(g.deviceBlocks).Slowed(g.slow),
 		CachePages:   g.cachePages,
+		Obs:          o,
 	}, lfs.Config{SegBlocks: g.segBlocks, ReservedSegs: 8})
 }
 
@@ -105,7 +110,8 @@ func setupLFS(p *sim.Proc, m *machine.LFSMachine, g gcScale) ([]*lfs.Inode, erro
 // window, and hand the cleaner records to collect.
 func gcRun(g gcScale, seed int64, rate float64, duet bool,
 	collect func(gc *lfs.GC, gen *workload.Generator, m *machine.LFSMachine)) error {
-	m, err := newLFSMachine(g, seed)
+	o := newCellObs()
+	m, err := newLFSMachine(g, seed, o)
 	if err != nil {
 		return err
 	}
@@ -162,6 +168,11 @@ func gcRun(g gcScale, seed int64, rate float64, duet bool,
 	if collect != nil && gc != nil {
 		collect(gc, gen, m)
 	}
+	mode := "base"
+	if duet {
+		mode = "duet"
+	}
+	finishLFSCell(o, m, fmt.Sprintf("gc %s r%.2f seed%d", mode, rate, seed))
 	return nil
 }
 
@@ -252,7 +263,7 @@ func calibrateLFSRate(g gcScale, target float64) (float64, error) {
 		return r, nil
 	}
 	measure := func(rate float64) (float64, error) {
-		m, err := newLFSMachine(g, calSeed)
+		m, err := newLFSMachine(g, calSeed, nil)
 		if err != nil {
 			return 0, err
 		}

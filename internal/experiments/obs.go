@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"duet/internal/machine"
+	"duet/internal/obs"
+	"duet/internal/tasks"
+)
+
+// Per-cell observability. Grid cells run concurrently, so a single
+// shared registry would interleave nondeterministically; instead every
+// cell records into its own obs handle, and the cell's registry is
+// merged into the run-level registry when the cell completes. The merge
+// is commutative (counters sum, gauges take maxima, histograms add
+// bucket-wise), so the merged result is identical no matter how the
+// worker pool interleaves completions — mirroring the stdout
+// determinism guarantee the grid already makes.
+//
+// Traces cannot be merged commutatively (they are ordered streams), so
+// per-cell tracers are collected in completion order and exported as
+// separate trace processes. Callers that need a byte-deterministic
+// trace run with one worker (duetbench -trace forces this).
+
+var obsCfg struct {
+	mu      sync.Mutex
+	enabled bool
+	tracing bool
+	reg     *obs.Registry
+	cells   []obs.TraceProcess
+}
+
+// EnableObs switches subsequent experiment cells to record
+// observability data, returning the run-level registry that cell
+// metrics merge into. With tracing true, each cell also fills its own
+// bounded trace ring, collected via CellTraces. Calibration probes are
+// excluded — they are shared across cells through the calibration
+// cache, so charging their activity to any one cell would make the
+// merged registry depend on cache state.
+func EnableObs(tracing bool) *obs.Registry {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.enabled = true
+	obsCfg.tracing = tracing
+	obsCfg.reg = obs.NewRegistry()
+	obsCfg.cells = nil
+	return obsCfg.reg
+}
+
+// DisableObs turns per-cell observability back off (tests use this to
+// restore the package default).
+func DisableObs() {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	obsCfg.enabled = false
+	obsCfg.tracing = false
+	obsCfg.reg = nil
+	obsCfg.cells = nil
+}
+
+// ObsRegistry returns the run-level registry (nil unless EnableObs was
+// called).
+func ObsRegistry() *obs.Registry {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	return obsCfg.reg
+}
+
+// CellTraces returns the per-cell tracers collected so far, in cell
+// completion order (deterministic only when cells run sequentially).
+func CellTraces() []obs.TraceProcess {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	return obsCfg.cells
+}
+
+// newCellObs builds the obs handle for one cell, or nil when
+// observability is off (the default: every machine hot path keeps its
+// probe-free branch).
+func newCellObs() *obs.Obs {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if !obsCfg.enabled {
+		return nil
+	}
+	o := &obs.Obs{Metrics: obs.NewRegistry()}
+	if obsCfg.tracing {
+		o.Trace = obs.NewTracer(obs.DefaultTraceEvents)
+	}
+	return o
+}
+
+// finishLFSCell folds one GC-experiment cell (an LFS machine) into the
+// run-level observability state. The GC sweeps run their cells
+// sequentially per utilization point, so trace collection order is the
+// deterministic input order.
+func finishLFSCell(o *obs.Obs, m *machine.LFSMachine, name string) {
+	if o == nil {
+		return
+	}
+	m.CollectMetrics(o.Metrics)
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if obsCfg.reg != nil {
+		obsCfg.reg.Merge(o.Metrics)
+		obsCfg.reg.Counter("grid.cells").Inc()
+	}
+	if o.Trace != nil {
+		obsCfg.cells = append(obsCfg.cells, obs.TraceProcess{Name: name, T: o.Trace})
+	}
+}
+
+// finishCell folds one completed cell into the run-level state: task
+// reports become spans/counters on the cell's own handle, the machine's
+// counters are absorbed, and the cell registry merges into the run
+// registry.
+func finishCell(e *env, out *Outcome, duet bool) {
+	o := e.obs
+	if o == nil {
+		return
+	}
+	for _, r := range out.Reports() {
+		tasks.ObserveRun(o, r)
+	}
+	e.m.CollectMetrics(o.Metrics)
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if obsCfg.reg != nil {
+		obsCfg.reg.Merge(o.Metrics)
+		obsCfg.reg.Counter("grid.cells").Inc()
+	}
+	if o.Trace != nil {
+		name := fmt.Sprintf("%s %s u%02d seed%d", e.spec.Scale.Name,
+			e.spec.Personality, int(e.spec.TargetUtil*100+0.5), e.spec.Seed)
+		if duet {
+			name += " duet"
+		}
+		obsCfg.cells = append(obsCfg.cells, obs.TraceProcess{Name: name, T: o.Trace})
+	}
+}

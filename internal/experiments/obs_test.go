@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"duet/internal/obs"
+)
+
+// TestObsMergeDeterminism mirrors TestGridDeterminism for the metrics
+// registry: the run-level registry assembled from per-cell merges must
+// be byte-identical whether cells complete sequentially (workers=1) or
+// in whatever order an eight-worker pool produces. The merge is
+// commutative, so worker interleaving may only change wall-clock time.
+func TestObsMergeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig2 sweep in -short mode")
+	}
+	run := func(workers int) string {
+		old := Workers
+		Workers = workers
+		defer func() { Workers = old }()
+		reg := EnableObs(false)
+		defer DisableObs()
+		if err := runFig2(ScaleTiny, io.Discard); err != nil {
+			t.Fatalf("fig2 with %d workers: %v", workers, err)
+		}
+		var b bytes.Buffer
+		if err := obs.WriteMetricsText(&b, reg); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Errorf("merged registry differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s", serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Error("registry collected nothing")
+	}
+}
+
+// TestObsCellAccounting checks that per-cell observability reaches the
+// run registry at all: cells are counted, and counters from the major
+// subsystems (engine, storage, page cache, Duet, filesystem, tasks)
+// all report through one sweep.
+func TestObsCellAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	reg := EnableObs(false)
+	defer DisableObs()
+	if err := runFig2(ScaleTiny, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("grid.cells").Value(); n == 0 {
+		t.Fatal("no cells merged into the run registry")
+	}
+	var b bytes.Buffer
+	if err := obs.WriteMetricsText(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, prefix := range []string{"sim.", "storage.", "pagecache.", "duet.", "cowfs.", "task."} {
+		if !bytes.Contains(b.Bytes(), []byte("counter "+prefix)) {
+			t.Errorf("no %s* counters in merged registry:\n%s", prefix, out)
+		}
+	}
+}
+
+// TestObsDisabledByDefault guards the zero-cost default: without
+// EnableObs, cells build with a nil obs handle and nothing is recorded.
+func TestObsDisabledByDefault(t *testing.T) {
+	if o := newCellObs(); o != nil {
+		t.Fatal("cells must get a nil obs handle when observability is off")
+	}
+	if ObsRegistry() != nil || CellTraces() != nil {
+		t.Fatal("run-level obs state must stay empty when disabled")
+	}
+}

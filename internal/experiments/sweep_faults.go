@@ -7,6 +7,7 @@ import (
 
 	"duet/internal/faults"
 	"duet/internal/machine"
+	"duet/internal/obs"
 	"duet/internal/sim"
 	"duet/internal/storage"
 	"duet/internal/tasks/scrub"
@@ -124,13 +125,14 @@ func runFaultsSweep(s Scale, w io.Writer) error {
 
 // buildFaultMachine assembles the cell's machine with a populated tree
 // and durability armed (an initial checkpoint of the populated state).
-func buildFaultMachine(s Scale, seed int64) (*machine.Machine, error) {
+func buildFaultMachine(s Scale, seed int64, o *obs.Obs) (*machine.Machine, error) {
 	m, err := machine.New(machine.Config{
 		Seed:         seed,
 		DeviceBlocks: s.DeviceBlocks,
 		Model:        storage.DefaultHDD(s.DeviceBlocks).Slowed(s.DeviceSlow),
 		CachePages:   s.CachePages,
 		IdleGrace:    sim.Time(2.5 * s.DeviceSlow * float64(sim.Millisecond)),
+		Obs:          o,
 	})
 	if err != nil {
 		return nil, err
@@ -290,7 +292,8 @@ func lostBlocks(m *machine.Machine) int64 {
 
 func runFaultCell(s Scale, seed int64, row faultRow, window sim.Time) (faultCell, error) {
 	var cell faultCell
-	m, err := buildFaultMachine(s, seed)
+	o := newCellObs()
+	m, err := buildFaultMachine(s, seed, o)
 	if err != nil {
 		return cell, err
 	}
@@ -334,7 +337,28 @@ func runFaultCell(s Scale, seed int64, row faultRow, window sim.Time) (faultCell
 	}
 	cell.lost = lostBlocks(m)
 	cell.rob.Add(m.Robustness())
+	finishFaultCell(o, m, row.name, seed)
 	return cell, nil
+}
+
+// finishFaultCell folds one fault-sweep cell into the run-level
+// observability state. The sweep runs its cells sequentially, so trace
+// collection order is the (deterministic) row × seed input order.
+func finishFaultCell(o *obs.Obs, m *machine.Machine, rowName string, seed int64) {
+	if o == nil {
+		return
+	}
+	m.CollectMetrics(o.Metrics)
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if obsCfg.reg != nil {
+		obsCfg.reg.Merge(o.Metrics)
+		obsCfg.reg.Counter("grid.cells").Inc()
+	}
+	if o.Trace != nil {
+		obsCfg.cells = append(obsCfg.cells,
+			obs.TraceProcess{Name: fmt.Sprintf("faults %s seed%d", rowName, seed), T: o.Trace})
+	}
 }
 
 func init() {

@@ -231,6 +231,9 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 			// Abandon this pass: the segment stays a candidate and is
 			// re-picked later. Counted, not swallowed.
 			fs.stats.GCReadErrors++
+			if st := fs.obs; st != nil {
+				st.tr.Instant(st.tid, "lfs", "gc-abandoned", p.Now())
+			}
 			return
 		}
 		for k := s; k < e; k++ {
@@ -285,6 +288,9 @@ func (g *GC) clean(p *sim.Proc, si int, urgent bool) {
 	}
 	rec.Duration = p.Now() - start
 	g.Records = append(g.Records, rec)
+	if st := fs.obs; st != nil {
+		st.tr.SliceArg(st.tid, "lfs", "gc-clean", start, p.Now(), "moved", int64(rec.BlocksMoved))
+	}
 	fs.stats.SegsCleaned++
 	fs.stats.GCBlocksMoved += int64(rec.BlocksMoved)
 	fs.stats.GCBlocksRead += int64(rec.BlocksRead)

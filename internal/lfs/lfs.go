@@ -141,6 +141,7 @@ type FS struct {
 
 	diskVer []uint64 // content version on the medium, per block
 	stats   Stats
+	obs     *lfsObs // nil unless observability is on (see obs.go)
 
 	// Pooled staging buffers for the read and writeback paths (holders
 	// block on device I/O, so several can be live in virtual time).

@@ -13,6 +13,7 @@ import (
 	"duet/internal/cowfs"
 	"duet/internal/iosched"
 	"duet/internal/lfs"
+	"duet/internal/obs"
 	"duet/internal/pagecache"
 	"duet/internal/sim"
 	"duet/internal/storage"
@@ -50,6 +51,10 @@ type Config struct {
 	// device must stay free of foreground activity before maintenance
 	// I/O is dispatched). Zero keeps the scheduler default.
 	IdleGrace sim.Time
+	// Obs, when non-nil, enables the observability subsystem: the
+	// engine, disks, cache, Duet, and filesystems all record into it.
+	// Nil (the default) keeps every hot path on its probe-free branch.
+	Obs *obs.Obs
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -104,6 +109,11 @@ type Machine struct {
 	Adapter *core.CowAdapter
 
 	nextFSID pagecache.FSID
+
+	// Components added after New, tracked so CollectMetrics covers them.
+	extraDisks []*storage.Disk
+	extraCow   []*cowfs.FS
+	extraLFS   []*lfs.FS
 }
 
 func newModel(kind DeviceKind, blocks int64) (storage.Model, error) {
@@ -135,6 +145,8 @@ func New(cfg Config) (*Machine, error) {
 	fs := cowfs.New(e, 1, disk, cache)
 	d := core.New(cache)
 	ad := core.AttachCow(d, fs)
+	enableObs(cfg.Obs, e, disk, cache, fs)
+	d.EnableObs(e, cfg.Obs)
 	return &Machine{
 		Cfg: cfg, Eng: e, Disk: disk, Cache: cache, FS: fs,
 		Duet: d, Adapter: ad, nextFSID: 2,
@@ -152,6 +164,12 @@ func (m *Machine) AddCowFS(name string, blocks int64, kind DeviceKind) (*cowfs.F
 	fs := cowfs.New(m.Eng, m.nextFSID, disk, m.Cache)
 	m.nextFSID++
 	ad := core.AttachCow(m.Duet, fs)
+	if o := m.Cfg.Obs; o != nil {
+		disk.EnableObs(o)
+		fs.EnableObs(o)
+	}
+	m.extraDisks = append(m.extraDisks, disk)
+	m.extraCow = append(m.extraCow, fs)
 	return fs, ad, nil
 }
 
@@ -165,6 +183,12 @@ func (m *Machine) AddLFS(name string, blocks int64, kind DeviceKind, cfg lfs.Con
 	fs := lfs.New(m.Eng, m.nextFSID, disk, m.Cache, cfg)
 	m.nextFSID++
 	ad := core.AttachLFS(m.Duet, fs)
+	if o := m.Cfg.Obs; o != nil {
+		disk.EnableObs(o)
+		fs.EnableObs(o)
+	}
+	m.extraDisks = append(m.extraDisks, disk)
+	m.extraLFS = append(m.extraLFS, fs)
 	return fs, ad, nil
 }
 
@@ -198,6 +222,8 @@ func NewLFS(cfg Config, fscfg lfs.Config) (*LFSMachine, error) {
 	fs := lfs.New(e, 1, disk, cache, fscfg)
 	d := core.New(cache)
 	ad := core.AttachLFS(d, fs)
+	enableObs(cfg.Obs, e, disk, cache, fs)
+	d.EnableObs(e, cfg.Obs)
 	return &LFSMachine{Cfg: cfg, Eng: e, Disk: disk, Cache: cache, FS: fs, Duet: d, Adapter: ad}, nil
 }
 

@@ -67,6 +67,12 @@ func (m *Machine) Recover() (*Machine, error) {
 	nm.FS = fs
 	nm.Duet = core.New(nm.Cache)
 	nm.Adapter = core.AttachCow(nm.Duet, fs)
+	// New wired the engine/disk/cache, but the remounted fs and fresh
+	// Duet replaced the instrumented ones — re-attach them.
+	if o := cfg.Obs; o != nil {
+		fs.EnableObs(o)
+		nm.Duet.EnableObs(nm.Eng, o)
+	}
 	if err := fs.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("machine: recovered fs inconsistent: %w", err)
 	}
@@ -92,6 +98,11 @@ func (m *LFSMachine) Recover(fscfg lfs.Config) (*LFSMachine, error) {
 	nm.FS = fs
 	nm.Duet = core.New(nm.Cache)
 	nm.Adapter = core.AttachLFS(nm.Duet, fs)
+	// Re-attach observability to the components NewLFS did not build.
+	if o := cfg.Obs; o != nil {
+		fs.EnableObs(o)
+		nm.Duet.EnableObs(nm.Eng, o)
+	}
 	if err := fs.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("machine: recovered lfs inconsistent: %w", err)
 	}

@@ -88,6 +88,45 @@ func TestFigureRender(t *testing.T) {
 	}
 }
 
+func TestFigureRenderUnionX(t *testing.T) {
+	// Series with different X sets: the table must cover the union of X
+	// values and leave cells empty where a series has no sample.
+	f := &Figure{
+		Title: "union", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 1.0}, {X: 2, Y: 2.0}}},
+			{Name: "b", Points: []Point{{X: 2, Y: 20.0}, {X: 3, Y: 30.0}}},
+		},
+	}
+	var b bytes.Buffer
+	f.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title comment + header + separator + three X rows + y-axis comment.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines, want 7 (union of X = {1,2,3}):\n%s", len(lines), out)
+	}
+	// X rows appear in first-seen order: 1, 2, 3.
+	for i, wantX := range []string{"1", "2", "3"} {
+		if !strings.HasPrefix(strings.TrimSpace(lines[3+i]), wantX) {
+			t.Errorf("row %d should start with x=%s:\n%s", i, wantX, out)
+		}
+	}
+	// x=1 has no b sample; x=3 has no a sample — those cells stay empty.
+	row1 := strings.Fields(lines[3])
+	if len(row1) != 2 || row1[1] != "1.000" {
+		t.Errorf("x=1 row should hold only series a: %q", lines[3])
+	}
+	row2 := strings.Fields(lines[4])
+	if len(row2) != 3 || row2[1] != "2.000" || row2[2] != "20.000" {
+		t.Errorf("x=2 row should hold both series: %q", lines[4])
+	}
+	row3 := strings.Fields(lines[5])
+	if len(row3) != 2 || row3[1] != "30.000" {
+		t.Errorf("x=3 row should hold only series b: %q", lines[5])
+	}
+}
+
 func TestPct(t *testing.T) {
 	if Pct(0.25) != "25%" {
 		t.Errorf("Pct = %q", Pct(0.25))

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"duet/internal/sim"
+)
+
+// Trace export: the Chrome trace-event JSON format, the subset Perfetto
+// and chrome://tracing both load. Timestamps ("ts") and durations
+// ("dur") are microseconds of *virtual* time; sub-microsecond precision
+// is kept as three fixed decimal places, so the encoding of a given
+// event stream is byte-for-byte deterministic.
+
+// TraceProcess labels one tracer in a multi-process trace file. The
+// experiment grid exports one process per cell; single-machine tools
+// export exactly one.
+type TraceProcess struct {
+	Name string
+	T    *Tracer
+}
+
+// WriteTrace writes a single tracer as a one-process trace file.
+func WriteTrace(w io.Writer, name string, t *Tracer) error {
+	return WriteTraceMulti(w, []TraceProcess{{Name: name, T: t}})
+}
+
+// WriteTraceMulti writes several tracers as one trace file, assigning
+// pid 1..n in slice order. Callers must present processes in a
+// deterministic order (the grid uses cell input order).
+func WriteTraceMulti(w io.Writer, procs []TraceProcess) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+			io.WriteString(bw, "\n")
+		} else {
+			io.WriteString(bw, ",\n")
+		}
+	}
+	for i, pr := range procs {
+		pid := i + 1
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			pid, quote(pr.Name))
+		for tid, tn := range pr.T.Tracks() {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				pid, tid, quote(tn))
+		}
+		pr.T.Events(func(e *Event) {
+			sep()
+			writeEvent(bw, pid, e)
+		})
+		if d := pr.T.Dropped(); d > 0 {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"trace_dropped_events","args":{"count":%d}}`, pid, d)
+		}
+	}
+	io.WriteString(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+func writeEvent(bw *bufio.Writer, pid int, e *Event) {
+	bw.WriteString(`{"ph":"`)
+	bw.WriteByte(e.Ph)
+	bw.WriteString(`","pid":`)
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.FormatInt(int64(e.TID), 10))
+	bw.WriteString(`,"name":`)
+	bw.WriteString(quote(e.Name))
+	if e.Cat != "" {
+		bw.WriteString(`,"cat":`)
+		bw.WriteString(quote(e.Cat))
+	}
+	bw.WriteString(`,"ts":`)
+	writeMicros(bw, e.Ts)
+	switch e.Ph {
+	case PhaseSlice:
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, e.Dur)
+	case PhaseInstant:
+		bw.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	if e.ArgKey != "" {
+		bw.WriteString(`,"args":{`)
+		bw.WriteString(quote(e.ArgKey))
+		bw.WriteString(`:`)
+		bw.WriteString(strconv.FormatInt(e.Arg, 10))
+		bw.WriteString(`}`)
+	}
+	bw.WriteString(`}`)
+}
+
+// writeMicros renders virtual nanoseconds as microseconds with exactly
+// three decimals ("12.345"), keeping full precision deterministically.
+func writeMicros(bw *bufio.Writer, t sim.Time) {
+	ns := int64(t)
+	neg := ns < 0
+	if neg {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	bw.WriteByte('.')
+	frac := ns % 1000
+	bw.WriteByte(byte('0' + frac/100))
+	bw.WriteByte(byte('0' + frac/10%10))
+	bw.WriteByte(byte('0' + frac%10))
+}
+
+// quote JSON-escapes a string. Track and event names are plain ASCII
+// identifiers in practice, but escaping is still done properly.
+func quote(s string) string { return strconv.Quote(s) }
+
+// --- metrics export ---------------------------------------------------------
+
+// WriteMetricsText dumps the registry as aligned "kind name value"
+// lines sorted by name — the deterministic flat form the grid
+// determinism tests compare.
+func WriteMetricsText(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		for _, name := range sortedKeys(r.counters) {
+			fmt.Fprintf(bw, "counter %s %d\n", name, r.counters[name].v)
+		}
+		for _, name := range sortedKeys(r.gauges) {
+			g := r.gauges[name]
+			fmt.Fprintf(bw, "gauge %s %d max %d\n", name, g.v, g.max)
+		}
+		for _, name := range sortedKeys(r.hists) {
+			h := r.hists[name]
+			fmt.Fprintf(bw, "hist %s count %d sum %d", name, h.count, h.sum)
+			if h.count > 0 {
+				fmt.Fprintf(bw, " min %d max %d", h.min, h.max)
+			}
+			for i, c := range h.counts {
+				if c == 0 {
+					continue
+				}
+				if i < len(h.bounds) {
+					fmt.Fprintf(bw, " le%d=%d", h.bounds[i], c)
+				} else {
+					fmt.Fprintf(bw, " inf=%d", c)
+				}
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsJSON dumps the registry as JSON with lexically ordered
+// keys, so equal registries always serialise to equal bytes.
+func WriteMetricsJSON(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	io.WriteString(bw, "{\n  \"counters\": {")
+	if r != nil {
+		for i, name := range sortedKeys(r.counters) {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "\n    %s: %d", quote(name), r.counters[name].v)
+		}
+	}
+	io.WriteString(bw, "\n  },\n  \"gauges\": {")
+	if r != nil {
+		for i, name := range sortedKeys(r.gauges) {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			g := r.gauges[name]
+			fmt.Fprintf(bw, "\n    %s: {\"value\": %d, \"max\": %d}", quote(name), g.v, g.max)
+		}
+	}
+	io.WriteString(bw, "\n  },\n  \"histograms\": {")
+	if r != nil {
+		for i, name := range sortedKeys(r.hists) {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			h := r.hists[name]
+			fmt.Fprintf(bw, "\n    %s: {\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"buckets\": [",
+				quote(name), h.count, h.sum, h.min, h.max)
+			for j, c := range h.counts {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				if j < len(h.bounds) {
+					fmt.Fprintf(bw, "{\"le\": %d, \"n\": %d}", h.bounds[j], c)
+				} else {
+					fmt.Fprintf(bw, "{\"le\": \"inf\", \"n\": %d}", c)
+				}
+			}
+			io.WriteString(bw, "]}")
+		}
+	}
+	io.WriteString(bw, "\n  }\n}\n")
+	return bw.Flush()
+}
+
+// Rows flattens the registry into (name, value) rows sorted by name,
+// for plain-text summary tables (fsinspect). Histograms render as
+// "count/mean" summaries.
+func (r *Registry) Rows() [][2]string {
+	if r == nil {
+		return nil
+	}
+	var rows [][2]string
+	for _, name := range sortedKeys(r.counters) {
+		rows = append(rows, [2]string{name, strconv.FormatInt(r.counters[name].v, 10)})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		rows = append(rows, [2]string{name, fmt.Sprintf("%d (max %d)", g.v, g.max)})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		rows = append(rows, [2]string{name, fmt.Sprintf("n=%d mean=%.1f max=%d", h.count, h.Mean(), h.max)})
+	}
+	return rows
+}

@@ -1,0 +1,47 @@
+// Package obs is the virtual-time observability subsystem: a span/event
+// tracer and a central metrics registry, with deterministic exporters
+// (Chrome trace-event JSON openable in Perfetto, and a metrics dump).
+//
+// Everything is keyed to *simulated* virtual time, never the wall clock:
+// a span's timestamps come from the sim.Engine that produced it, so two
+// runs with the same seed emit byte-identical trace files regardless of
+// host speed or scheduling.
+//
+// The disabled case is free. Every recording method is a no-op on a nil
+// receiver, and instrumented subsystems guard their probes behind a
+// single nil check, so the hot paths the allocation gates protect
+// (pagecache insert/emit, cowfs write, lfs GC pick, sim sleep/park)
+// stay 0 allocs/op with observability off.
+//
+// Within one simulation, recording needs no locking: the sim engine
+// guarantees exactly one process runs at a time. Cross-engine
+// aggregation (the experiment grid's worker pool) merges per-cell
+// registries with Registry.Merge, whose operations are commutative, so
+// the merged result is independent of worker interleaving.
+package obs
+
+// Obs bundles the two observability facilities a machine can carry.
+// Either field may be nil: a machine can collect metrics without
+// tracing, trace without metrics, or (the default) neither.
+type Obs struct {
+	// Trace records virtual-time spans and instants.
+	Trace *Tracer
+	// Metrics is the machine's metrics registry.
+	Metrics *Registry
+}
+
+// TraceOf returns o.Trace, tolerating a nil o.
+func (o *Obs) TraceOf() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// MetricsOf returns o.Metrics, tolerating a nil o.
+func (o *Obs) MetricsOf() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -1,0 +1,276 @@
+package obs
+
+import "sort"
+
+// Registry is a central metrics registry: named counters, gauges and
+// fixed-bucket histograms. Instruments are registered (or looked up) by
+// name; the handle is then updated without further map traffic, so a
+// subsystem resolves its instruments once at setup and pays only an
+// add/compare per sample.
+//
+// A nil *Registry is a valid disabled registry: lookups return nil
+// handles, and every handle method is a no-op on a nil receiver.
+//
+// Registries are not safe for concurrent update — within one simulation
+// the engine serialises all processes. Merge (guarded by the caller) is
+// how per-engine registries aggregate: every merge operation is
+// commutative and associative (counters and histograms sum, gauges take
+// the maximum), so a merged registry's contents are independent of the
+// order cells complete in.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v int64 }
+
+// Add increases the counter. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge tracks a level. Set records the current value and keeps the
+// high-water mark; merged gauges report the maximum across sources, so
+// a gauge is the right instrument for queue depths and peaks, not for
+// quantities that should sum (use a Counter).
+type Gauge struct {
+	v   int64
+	max int64
+}
+
+// Set records the current level, updating the high-water mark. No-op on
+// a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// SetMax raises the high-water mark without touching the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the last Set value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark (0 on nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram counts samples into fixed buckets. Bucket i counts samples
+// v <= Bounds[i]; one implicit overflow bucket counts the rest. Bounds
+// are fixed at registration, so histograms with the same name always
+// merge bucket-for-bucket.
+type Histogram struct {
+	bounds []int64
+	counts []int64 // len(bounds)+1; last = overflow
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of samples (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean sample (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Counter returns (registering if needed) the named counter. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram with
+// the given bucket upper bounds (ascending). The bounds of the first
+// registration win; later callers share the instrument. Returns nil on
+// a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetCounter is a convenience for absorption passes: it sets the named
+// counter to the given absolute value if larger than the current one
+// (absorbing a cumulative stat twice must not double it).
+func (r *Registry) SetCounter(name string, v int64) {
+	c := r.Counter(name)
+	if c != nil && v > c.v {
+		c.v = v
+	}
+}
+
+// Merge folds other into r. Counters and histogram buckets sum; gauges
+// take the maximum of value and high-water mark; histograms registered
+// only in other are copied. All operations are commutative and
+// associative, so any merge order yields the same registry.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range other.gauges {
+		dst := r.Gauge(name)
+		if g.v > dst.v {
+			dst.v = g.v
+		}
+		if g.max > dst.max {
+			dst.max = g.max
+		}
+	}
+	for name, h := range other.hists {
+		dst := r.hists[name]
+		if dst == nil {
+			r.Histogram(name, h.bounds)
+			dst = r.hists[name]
+		}
+		if len(dst.bounds) != len(h.bounds) {
+			// Names identify instruments; mismatched bounds mean two
+			// subsystems disagree. Keep the destination shape and fold
+			// everything into the overflow-safe aggregate fields.
+			dst.count += h.count
+			dst.sum += h.sum
+			continue
+		}
+		for i := range h.counts {
+			dst.counts[i] += h.counts[i]
+		}
+		if h.count > 0 {
+			if dst.count == 0 || h.min < dst.min {
+				dst.min = h.min
+			}
+			if h.max > dst.max {
+				dst.max = h.max
+			}
+		}
+		dst.count += h.count
+		dst.sum += h.sum
+	}
+}
+
+// sortedKeys returns map keys in lexical order, for deterministic
+// export.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

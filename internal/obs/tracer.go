@@ -1,0 +1,170 @@
+package obs
+
+import "duet/internal/sim"
+
+// Event phases, mirroring the Chrome trace-event format.
+const (
+	// PhaseSlice is a complete duration event ('X').
+	PhaseSlice byte = 'X'
+	// PhaseInstant is a point event ('i').
+	PhaseInstant byte = 'i'
+	// PhaseCounter is a counter sample ('C').
+	PhaseCounter byte = 'C'
+)
+
+// Event is one recorded trace event. Name, Cat and ArgKey must be
+// static (or otherwise already-materialised) strings: the tracer stores
+// them by reference and never formats on the recording path.
+type Event struct {
+	Name   string
+	Cat    string
+	ArgKey string // "" = no argument
+	Ts     sim.Time
+	Dur    sim.Time // slices only
+	Arg    int64
+	TID    int32
+	Ph     byte
+}
+
+// Tracer records virtual-time events into a fixed-capacity ring buffer.
+// When the ring fills, the oldest events are overwritten (and counted in
+// Dropped) — tracing a long run keeps the most recent window, which is
+// usually the interesting part, without unbounded memory.
+//
+// A nil *Tracer is a valid disabled tracer: every method returns
+// immediately.
+type Tracer struct {
+	events  []Event
+	head    int // index of the oldest event
+	n       int // events currently stored
+	dropped int64
+
+	tracks   []string // tid -> display name; tid 0 is reserved ("engine")
+	trackIDs map[string]int32
+}
+
+// DefaultTraceEvents is the default ring capacity.
+const DefaultTraceEvents = 1 << 16
+
+// NewTracer creates a tracer holding up to capacity events
+// (DefaultTraceEvents if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	t := &Tracer{
+		events:   make([]Event, 0, capacity),
+		trackIDs: make(map[string]int32),
+	}
+	t.tracks = append(t.tracks, "engine") // tid 0
+	return t
+}
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Track returns the thread id for a named track, registering it on
+// first use. Named tracks render as separate rows in Perfetto. Returns
+// 0 on a nil tracer.
+func (t *Tracer) Track(name string) int32 {
+	if t == nil {
+		return 0
+	}
+	if id, ok := t.trackIDs[name]; ok {
+		return id
+	}
+	id := int32(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.trackIDs[name] = id
+	return id
+}
+
+// push appends an event, overwriting the oldest when full.
+func (t *Tracer) push(e Event) {
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+		t.n++
+		return
+	}
+	t.events[t.head] = e
+	t.head++
+	if t.head == len(t.events) {
+		t.head = 0
+	}
+	t.dropped++
+}
+
+// Slice records a complete duration event on a track. start may equal
+// end (virtual time often does not advance inside one scheduling turn).
+func (t *Tracer) Slice(tid int32, cat, name string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Name: name, Cat: cat, Ts: start, Dur: end - start, TID: tid, Ph: PhaseSlice})
+}
+
+// SliceArg records a complete duration event carrying one integer
+// argument. argKey must be a static string.
+func (t *Tracer) SliceArg(tid int32, cat, name string, start, end sim.Time, argKey string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Name: name, Cat: cat, ArgKey: argKey, Arg: arg, Ts: start, Dur: end - start, TID: tid, Ph: PhaseSlice})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(tid int32, cat, name string, ts sim.Time) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Name: name, Cat: cat, Ts: ts, TID: tid, Ph: PhaseInstant})
+}
+
+// Counter records a counter sample. Perfetto plots successive samples
+// of the same name as a step chart.
+func (t *Tracer) Counter(tid int32, name string, ts sim.Time, v int64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Name: name, ArgKey: "value", Arg: v, Ts: ts, TID: tid, Ph: PhaseCounter})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events calls fn for each buffered event in record order (oldest
+// first).
+func (t *Tracer) Events(fn func(e *Event)) {
+	if t == nil {
+		return
+	}
+	for i := 0; i < t.n; i++ {
+		fn(&t.events[(t.head+i)%len(t.events)])
+	}
+}
+
+// Tracks returns the registered track names indexed by tid.
+func (t *Tracer) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	return t.tracks
+}
+
+// The sim package defines its own minimal tracer interface so the
+// kernel does not depend on obs; assert here that Tracer satisfies it.
+var _ sim.Tracer = (*Tracer)(nil)

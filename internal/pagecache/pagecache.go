@@ -306,6 +306,7 @@ type Cache struct {
 	arena     pageArena
 	flFree    *fileList
 	batchFree *wbBatch
+	obs       *cacheObs // nil unless observability is on (see obs.go)
 
 	flusherKick *sim.WaitQueue
 }
@@ -879,6 +880,10 @@ func (c *Cache) flusher(p *sim.Proc) {
 // flusher wakeups allocate nothing.
 func (c *Cache) flushExpired(p *sim.Proc, minAge sim.Time) {
 	now := c.eng.Now()
+	var flushStart sim.Time
+	if c.obs != nil {
+		flushStart = now
+	}
 	b := c.getBatch()
 	c.dirty.Ascend(nil, func(k PageKey, pg *Page) bool {
 		if now-pg.DirtyAt < minAge {
@@ -910,6 +915,9 @@ func (c *Cache) flushExpired(p *sim.Proc, minAge sim.Time) {
 			// quarantine them instead of retrying forever.
 			c.wbFailed(err, fk.FS, fk.Ino, b.idx[lo+n:hi], b.vers[lo+n:hi])
 		}
+	}
+	if c.obs != nil {
+		c.observeFlush(flushStart, c.eng.Now(), len(b.idx))
 	}
 	c.putBatch(b)
 }
@@ -950,6 +958,9 @@ func (c *Cache) quarantine(pg *Page) {
 	c.dirty.Delete(pg.Key)
 	c.quar = append(c.quar, pg.Key)
 	c.stats.QuarantineEvents++
+	if st := c.obs; st != nil && st.tr != nil {
+		st.tr.Instant(st.tid, "pagecache", "quarantine", c.eng.Now())
+	}
 }
 
 // Quarantined appends the keys of currently quarantined pages to dst
@@ -973,6 +984,9 @@ func (c *Cache) Requeue(key PageKey) bool {
 	pg.DirtyAt = c.eng.Now()
 	c.dirty.Set(pg.Key, pg)
 	c.stats.RequeuedPages++
+	if st := c.obs; st != nil && st.tr != nil {
+		st.tr.Instant(st.tid, "pagecache", "requeue", c.eng.Now())
+	}
 	c.flusherKick.WakeAll()
 	return true
 }

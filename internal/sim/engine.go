@@ -29,6 +29,7 @@ type Engine struct {
 	failure  error
 	seed     int64
 	nextPID  int
+	tracer   Tracer // nil unless observability is on (see trace.go)
 }
 
 // ErrStopped is returned by Wait-style primitives when they are interrupted
@@ -85,6 +86,7 @@ type Proc struct {
 	sleeping   bool
 	sleepUntil Time
 	rng        *rand.Rand // memoized by Rand
+	tid        int32      // trace track id, assigned lazily (see trace.go)
 }
 
 // Engine returns the engine this process belongs to.
@@ -172,8 +174,22 @@ func (e *Engine) ready(p *Proc) {
 func (p *Proc) park(reason string) {
 	e := p.eng
 	p.waitReason = reason
+	var parkAt Time
+	if e.tracer != nil {
+		parkAt = e.now
+	}
 	e.yield <- struct{}{}
 	<-p.wake
+	if t := e.tracer; t != nil {
+		// The parked interval, named by its wait reason, becomes one
+		// virtual-time slice on the process's track. Reasons are static
+		// strings (see above), so recording never formats.
+		name := reason
+		if name == "" {
+			name = "sleep"
+		}
+		t.Slice(p.traceTID(t), "sim", name, parkAt, e.now)
+	}
 	p.waitReason = ""
 	p.sleeping = false
 	if e.stopping {

@@ -1,0 +1,45 @@
+package sim
+
+// Tracer is the minimal interface the kernel needs to report scheduling
+// activity to an observability backend (internal/obs implements it).
+// Defining the interface here keeps the kernel free of dependencies:
+// obs depends on sim for Time, never the other way around.
+//
+// The engine guards every tracer touch behind a nil check, so the
+// disabled path adds one predictable branch and zero allocations to
+// park/Sleep — the contract the sim allocation gates enforce.
+type Tracer interface {
+	// Track registers (or resolves) a named track and returns its id.
+	Track(name string) int32
+	// Slice records a complete [start, end] span on a track.
+	Slice(tid int32, cat, name string, start, end Time)
+	// Instant records a point event.
+	Instant(tid int32, cat, name string, ts Time)
+}
+
+// SetTracer attaches a tracer to the engine. Pass the concrete value
+// only when tracing is enabled: a non-nil interface holding a nil
+// tracer would defeat the engine's nil checks. Must be called before
+// Run.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (e *Engine) Tracer() Tracer { return e.tracer }
+
+// ProcsCreated returns how many processes were ever created — one of
+// the kernel-level quantities the metrics registry absorbs.
+func (e *Engine) ProcsCreated() int { return len(e.procs) }
+
+// TimersScheduled returns how many timers were ever pushed (every
+// Sleep with a positive duration schedules exactly one).
+func (e *Engine) TimersScheduled() uint64 { return e.seq }
+
+// traceTID lazily registers the process's trace track. Track names are
+// the process names, so processes spawned under the same name (timer
+// helpers) share a track instead of exploding the track table.
+func (p *Proc) traceTID(t Tracer) int32 {
+	if p.tid == 0 {
+		p.tid = t.Track(p.name)
+	}
+	return p.tid
+}

@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// recordingTracer counts calls through the sim.Tracer interface.
+type recordingTracer struct {
+	tracks  int32
+	slices  int
+	instant int
+}
+
+func (r *recordingTracer) Track(string) int32 {
+	r.tracks++
+	return r.tracks
+}
+func (r *recordingTracer) Slice(int32, string, string, Time, Time) { r.slices++ }
+func (r *recordingTracer) Instant(int32, string, string, Time)     { r.instant++ }
+
+// TestTracerDisabledSleepAllocFree is the kernel-side obs alloc gate:
+// with no tracer attached (the default), the park/Sleep path must stay
+// allocation-free — the tracer hook may only add a nil-check branch. CI
+// runs this as a regression gate (see .github/workflows/ci.yml).
+func TestTracerDisabledSleepAllocFree(t *testing.T) {
+	e := New(1)
+	if e.Tracer() != nil {
+		t.Fatal("engine must start with no tracer")
+	}
+	var avg float64
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 64; i++ {
+			p.Sleep(Microsecond)
+		}
+		avg = testing.AllocsPerRun(200, func() {
+			p.Sleep(Microsecond)
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("tracer-disabled Sleep allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestTracerRecordsParks checks the enabled path: an attached tracer
+// sees one slice per park (the sleep span) on a per-process track.
+func TestTracerRecordsParks(t *testing.T) {
+	e := New(1)
+	tr := &recordingTracer{}
+	e.SetTracer(tr)
+	const sleeps = 5
+	e.Go("worker", func(p *Proc) {
+		for i := 0; i < sleeps; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.slices < sleeps {
+		t.Errorf("tracer saw %d slices, want >= %d (one per sleep)", tr.slices, sleeps)
+	}
+	if tr.tracks != 1 {
+		t.Errorf("tracer registered %d tracks, want 1 (per process name)", tr.tracks)
+	}
+}
+
+// TestEngineCounters pins the kernel quantities the metrics registry
+// absorbs: processes ever created and timers ever scheduled.
+func TestEngineCounters(t *testing.T) {
+	e := New(1)
+	e.Go("a", func(p *Proc) { p.Sleep(Microsecond) })
+	e.Go("b", func(p *Proc) { p.Sleep(Microsecond); p.Sleep(Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.ProcsCreated() != 2 {
+		t.Errorf("ProcsCreated = %d, want 2", e.ProcsCreated())
+	}
+	if e.TimersScheduled() < 3 {
+		t.Errorf("TimersScheduled = %d, want >= 3", e.TimersScheduled())
+	}
+}

@@ -211,6 +211,12 @@ func (d *Disk) serviceFaulty(p *sim.Proc, r *Request) {
 			o.Reads++
 			o.BlocksRead += int64(r.Count)
 		}
+		if d.obs != nil {
+			d.observeComplete(r, now-st, now)
+			if err != nil && d.obs.tr != nil {
+				d.obs.tr.Instant(d.obs.tid, "storage", "io-error", now)
+			}
+		}
 		r.done.Complete(struct{}{}, err)
 		return
 	}

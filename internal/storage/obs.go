@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"duet/internal/obs"
+	"duet/internal/sim"
+)
+
+// Observability (internal/obs). A disk with observability enabled
+// records one virtual-time slice per serviced request on its own trace
+// track (named by the request owner, so Perfetto shows which stream
+// occupied the device when) and feeds two histograms: submit-to-complete
+// service latency and the scheduler queue depth seen at dispatch. All
+// of it sits behind one nil check, so the default (disabled) executor
+// path is unchanged and allocation-free.
+
+// diskObs holds the pre-resolved instruments; nil on d.obs disables
+// everything.
+type diskObs struct {
+	tr     *obs.Tracer
+	tid    int32
+	svcLat *obs.Histogram // submit-to-complete latency, µs
+	qdepth *obs.Histogram // scheduler backlog at dispatch
+}
+
+// Histogram bucket bounds, shared by every disk so merged registries
+// stay bucket-compatible.
+var (
+	latBoundsUS = []int64{50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000}
+	depthBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// EnableObs attaches observability to the disk. Call once at machine
+// assembly, before the simulation runs.
+func (d *Disk) EnableObs(o *obs.Obs) {
+	if o == nil || (o.Trace == nil && o.Metrics == nil) {
+		return
+	}
+	st := &diskObs{tr: o.Trace}
+	if o.Trace != nil {
+		st.tid = o.Trace.Track("disk:" + d.Name)
+	}
+	if o.Metrics != nil {
+		st.svcLat = o.Metrics.Histogram("storage."+d.Name+".service_us", latBoundsUS)
+		st.qdepth = o.Metrics.Histogram("iosched."+d.Name+".qdepth", depthBounds)
+	}
+	d.obs = st
+}
+
+// observeDispatch records the queue backlog left behind when a request
+// is handed to the executor.
+func (d *Disk) observeDispatch() {
+	d.obs.qdepth.Observe(int64(d.sched.Pending()))
+}
+
+// observeComplete records the request's service slice and latency.
+// start is when the device began working on it; the slice therefore
+// excludes queueing, which the latency histogram captures.
+func (d *Disk) observeComplete(r *Request, start, now sim.Time) {
+	st := d.obs
+	if st.tr != nil {
+		st.tr.SliceArg(st.tid, "storage", r.Owner, start, now, "blocks", int64(r.Count))
+	}
+	st.svcLat.Observe(int64((now - r.submitted) / sim.Microsecond))
+}
+
+// PublishMetrics absorbs the disk's cumulative counters into the
+// registry under "storage.<name>.*". Safe to call repeatedly; values
+// are absolute so re-absorption cannot double-count.
+func (d *Disk) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p := "storage." + d.Name + "."
+	s := &d.stats
+	r.SetCounter(p+"requests", s.Requests)
+	r.SetCounter(p+"busy_us", int64(s.BusyTime/sim.Microsecond))
+	r.SetCounter(p+"busy_normal_us", int64(s.ByClassBusy[ClassNormal]/sim.Microsecond))
+	r.SetCounter(p+"busy_idle_us", int64(s.ByClassBusy[ClassIdle]/sim.Microsecond))
+	r.SetCounter(p+"bad_block_hits", s.BadBlockHits)
+	r.SetCounter(p+"faults_transient", s.TransientFaults)
+	r.SetCounter(p+"faults_permanent", s.PermanentFaults)
+	r.SetCounter(p+"torn_writes", s.TornWrites)
+	r.SetCounter(p+"stalls", s.Stalls)
+	r.SetCounter(p+"retries", s.Retries)
+	r.SetCounter(p+"timeouts", s.Timeouts)
+	r.SetCounter(p+"backoff_us", int64(s.BackoffTime/sim.Microsecond))
+	r.Gauge(p + "queue_depth").SetMax(int64(d.sched.Pending()))
+}

@@ -1,0 +1,73 @@
+package storage_test
+
+import (
+	"testing"
+
+	"duet/internal/obs"
+	"duet/internal/sim"
+	"duet/internal/storage"
+)
+
+// TestDiskObsRecords checks the enabled path: every serviced request
+// leaves one trace slice on the disk's track plus a service-latency
+// observation, and PublishMetrics absorbs the cumulative counters.
+func TestDiskObsRecords(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	o := &obs.Obs{Trace: obs.NewTracer(1024), Metrics: obs.NewRegistry()}
+	d.EnableObs(o)
+	const reqs = 10
+	e.Go("io", func(p *sim.Proc) {
+		for i := 0; i < reqs; i++ {
+			if err := d.Read(p, int64(i*1000), 4, storage.ClassNormal, "reader"); err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+		}
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slices := 0
+	o.Trace.Events(func(ev *obs.Event) {
+		if ev.Ph == 'X' && ev.Cat == "storage" {
+			slices++
+		}
+	})
+	if slices != reqs {
+		t.Errorf("trace has %d storage slices, want %d (one per request)", slices, reqs)
+	}
+	lat := o.Metrics.Histogram("storage.sda.service_us", nil)
+	if lat.Count() != reqs {
+		t.Errorf("latency histogram holds %d samples, want %d", lat.Count(), reqs)
+	}
+	d.PublishMetrics(o.Metrics)
+	if v := o.Metrics.Counter("storage.sda.requests").Value(); v != reqs {
+		t.Errorf("storage.sda.requests = %d, want %d", v, reqs)
+	}
+	if v := o.Metrics.Counter("storage.sda.busy_us").Value(); v <= 0 {
+		t.Errorf("storage.sda.busy_us = %d, want > 0", v)
+	}
+}
+
+// TestDiskObsDisabledNoop guards the default: a disk never handed an
+// obs handle must not record anything, and enabling with an empty
+// handle stays a no-op too.
+func TestDiskObsDisabledNoop(t *testing.T) {
+	e := sim.New(1)
+	d := newDisk(e)
+	d.EnableObs(nil)
+	d.EnableObs(&obs.Obs{})
+	e.Go("io", func(p *sim.Proc) {
+		if err := d.Read(p, 0, 1, storage.ClassNormal, "t"); err != nil {
+			t.Error(err)
+		}
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Requests != 1 {
+		t.Error("request not serviced")
+	}
+}

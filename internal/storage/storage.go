@@ -156,6 +156,9 @@ type Disk struct {
 	// Fault injection (nil/zero on the fault-free path; see faults.go).
 	injector FaultInjector
 	retry    RetryPolicy
+
+	// Observability (nil when disabled; see obs.go).
+	obs *diskObs
 }
 
 // NewDisk creates a disk and starts its executor process on e.
@@ -311,6 +314,9 @@ func (d *Disk) run(p *sim.Proc) {
 			}
 			continue
 		}
+		if d.obs != nil {
+			d.observeDispatch()
+		}
 		d.service(p, r)
 	}
 }
@@ -363,6 +369,9 @@ func (d *Disk) service(p *sim.Proc, r *Request) {
 				break
 			}
 		}
+	}
+	if d.obs != nil {
+		d.observeComplete(r, now-st, now)
 	}
 	r.done.Complete(struct{}{}, err)
 }

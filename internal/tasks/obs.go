@@ -1,0 +1,35 @@
+package tasks
+
+import "duet/internal/obs"
+
+// ObserveRun records one finished task run with the observability
+// subsystem: a virtual-time slice spanning the run on a per-task track
+// (opportunistic variants get their own "-duet" track so baseline and
+// Duet runs are visually distinct in Perfetto), plus per-task counters
+// summing the Report fields. Callers invoke it once per Report, in the
+// order runs completed; with o nil it does nothing, so drivers call it
+// unconditionally.
+func ObserveRun(o *obs.Obs, r Report) {
+	if o == nil {
+		return
+	}
+	name := r.Name
+	if r.Opportunistic {
+		name = r.Name + "-duet"
+	}
+	if t := o.Trace; t != nil {
+		tid := t.Track("task:" + name)
+		t.SliceArg(tid, "task", name, r.Start, r.End, "done", r.WorkDone)
+	}
+	if m := o.Metrics; m != nil {
+		p := "task." + name + "."
+		m.Counter(p + "runs").Inc()
+		m.Counter(p + "work_done").Add(r.WorkDone)
+		m.Counter(p + "saved").Add(r.Saved)
+		m.Counter(p + "read_blocks").Add(r.ReadBlocks)
+		m.Counter(p + "written_blocks").Add(r.WrittenBlocks)
+		m.Counter(p + "errors").Add(r.Errors)
+		m.Counter(p + "degraded").Add(r.Degraded)
+		m.Counter(p + "rescan_blocks").Add(r.RescanBlocks)
+	}
+}

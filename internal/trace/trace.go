@@ -54,8 +54,11 @@ type Zipf struct {
 	// Label names the distribution.
 	Label string
 
-	cachedN   int
-	cumangles []float64 // cumulative normalized weights
+	// Cumulative normalized weights, cached per population size. A
+	// single-slot cache thrashes when one Zipf serves populations of
+	// different sizes (e.g. interleaved scales in a sweep): every call
+	// rebuilds the O(n) table. Keyed by n, each table is built once.
+	cum map[int][]float64
 }
 
 // Name implements Distribution.
@@ -66,9 +69,9 @@ func (z *Zipf) Name() string {
 	return fmt.Sprintf("zipf(%.2f)", z.S)
 }
 
-func (z *Zipf) ensure(n int) {
-	if z.cachedN == n {
-		return
+func (z *Zipf) ensure(n int) []float64 {
+	if c, ok := z.cum[n]; ok {
+		return c
 	}
 	cum := make([]float64, n)
 	total := 0.0
@@ -79,18 +82,21 @@ func (z *Zipf) ensure(n int) {
 	for k := range cum {
 		cum[k] /= total
 	}
-	z.cachedN = n
-	z.cumangles = cum
+	if z.cum == nil {
+		z.cum = make(map[int][]float64)
+	}
+	z.cum[n] = cum
+	return cum
 }
 
 // Pick implements Distribution via inverse CDF sampling.
 func (z *Zipf) Pick(rng *rand.Rand, n int) int {
-	z.ensure(n)
+	cum := z.ensure(n)
 	u := rng.Float64()
 	lo, hi := 0, n-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if z.cumangles[mid] < u {
+		if cum[mid] < u {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -104,7 +110,7 @@ func (z *Zipf) AccessShare(n int, fracFiles float64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	z.ensure(n)
+	cum := z.ensure(n)
 	k := int(math.Ceil(clamp01(fracFiles) * float64(n)))
 	if k <= 0 {
 		return 0
@@ -112,7 +118,7 @@ func (z *Zipf) AccessShare(n int, fracFiles float64) float64 {
 	if k > n {
 		k = n
 	}
-	return z.cumangles[k-1]
+	return cum[k-1]
 }
 
 // MSDevices returns distributions modelling the three build-server trace

@@ -68,6 +68,57 @@ func TestZipfCacheRebuild(t *testing.T) {
 			t.Fatalf("Pick out of range: %d of %d", i, n)
 		}
 	}
+	// Both population sizes stay cached after interleaving.
+	if len(z.cum) != 2 {
+		t.Fatalf("cached tables = %d, want 2 (one per n)", len(z.cum))
+	}
+	if len(z.cum[10]) != 10 || len(z.cum[1000]) != 1000 {
+		t.Fatalf("cached table lengths wrong: %d, %d", len(z.cum[10]), len(z.cum[1000]))
+	}
+}
+
+func TestZipfAlternatingNConsistent(t *testing.T) {
+	// Interleaving population sizes must give the same draws as using a
+	// dedicated distribution per size: the per-n cache may not change
+	// sampling, only avoid rebuilding tables.
+	shared := &Zipf{S: 1.1}
+	solo10 := &Zipf{S: 1.1}
+	solo500 := &Zipf{S: 1.1}
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := 10
+		if i%2 == 1 {
+			n = 500
+		}
+		got := shared.Pick(rngA, n)
+		var want int
+		if n == 10 {
+			want = solo10.Pick(rngB, 10)
+		} else {
+			want = solo500.Pick(rngB, 500)
+		}
+		if got != want {
+			t.Fatalf("draw %d (n=%d): shared %d != dedicated %d", i, n, got, want)
+		}
+	}
+	if shared.AccessShare(10, 0.5) != solo10.AccessShare(10, 0.5) {
+		t.Error("AccessShare differs between shared and dedicated distribution")
+	}
+}
+
+func BenchmarkZipfAlternatingN(b *testing.B) {
+	// The regression this guards: a single-slot weight cache rebuilds the
+	// O(n) cumulative table on every Pick when two population sizes
+	// alternate. With the per-n cache each table is built once.
+	z := &Zipf{S: 1.05}
+	rng := rand.New(rand.NewSource(11))
+	sizes := [2]int{1000, 50000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Pick(rng, sizes[i&1])
+	}
 }
 
 func TestMSDevicesOrdering(t *testing.T) {
