@@ -4,19 +4,23 @@
 //
 // Usage:
 //
-//	duetbench [-scale tiny|small|full] [-seeds N] [-j N] [-experiment id[,id...]] [-list] [-bench-out file]
-//	          [-cpuprofile file] [-memprofile file] [-trace file] [-metrics file]
+//	duetbench [-scale tiny|small|medium|full] [-seeds N] [-j N] [-dj N] [-experiment id[,id...]]
+//	          [-list] [-bench-out file] [-cpuprofile file] [-memprofile file] [-trace file] [-metrics file]
 //
 // The default small scale reproduces the paper's ratios at laptop cost
 // (see internal/experiments); -scale full approximates the paper's
 // absolute setup and takes hours.
 //
-// -j sets the worker count for the experiment grid (default: all CPUs).
-// Output is byte-identical at any -j: cells are reassembled in input
-// order and every simulation engine is fully isolated, so parallelism
+// -j sets the worker count for the experiment grid (default: all CPUs);
+// -dj sets the worker count *inside* multi-domain simulations (the
+// sharded-machine experiment; default 1). Output — stdout, traces, and
+// metrics alike — is byte-identical at any -j and -dj: cells are
+// reassembled in input order, trace slots are reserved in input order,
+// and the domain-sharded engine delivers cross-domain messages in a
+// canonical order at conservative time-window barriers, so parallelism
 // only changes wall-clock time. Alongside the text output, a
 // machine-readable BENCH_<scale>.json records per-experiment wall-clock
-// seconds, cells run, and the worker count, so the performance
+// seconds, cells run, and the worker counts, so the performance
 // trajectory is trackable across changes.
 package main
 
@@ -47,6 +51,7 @@ type benchFile struct {
 	Scale        string        `json:"scale"`
 	Seeds        int           `json:"seeds"`
 	Workers      int           `json:"workers"`
+	DomainJ      int           `json:"dj"`
 	GoMaxProcs   int           `json:"gomaxprocs"`
 	Experiments  []benchRecord `json:"experiments"`
 	TotalSeconds float64       `json:"total_seconds"`
@@ -57,16 +62,17 @@ type benchFile struct {
 }
 
 func main() {
-	scaleName := flag.String("scale", "small", "experiment scale: tiny, small, or full")
+	scaleName := flag.String("scale", "small", "experiment scale: tiny, small, medium, or full")
 	seeds := flag.Int("seeds", 0, "override the number of repetitions (0 = scale default)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "grid worker count (output is identical at any value)")
+	domainJ := flag.Int("dj", 1, "intra-simulation worker count for multi-domain cells (output is identical at any value)")
 	expFlag := flag.String("experiment", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	benchOut := flag.String("bench-out", "", "timing json path (default BENCH_<scale>.json, \"-\" to disable)")
 	quiet := flag.Bool("q", false, "suppress the progress line on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every cell to this file (forces -j 1)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every cell to this file")
 	metricsOut := flag.String("metrics", "", "write the merged metrics registry to this file (.json for JSON, otherwise text)")
 	flag.Parse()
 
@@ -85,13 +91,8 @@ func main() {
 	if *seeds > 0 {
 		scale.Seeds = *seeds
 	}
-	if *traceOut != "" && *workers != 1 {
-		// Trace events are collected per cell in completion order; only a
-		// sequential grid makes that order (and the file) deterministic.
-		fmt.Fprintf(os.Stderr, "duetbench: -trace forces -j 1 for a deterministic trace\n")
-		*workers = 1
-	}
 	experiments.Workers = *workers
+	experiments.DomainWorkers = *domainJ
 	if !*quiet {
 		experiments.Progress = os.Stderr
 	}
@@ -139,6 +140,7 @@ func main() {
 		Scale:      scale.Name,
 		Seeds:      scale.Seeds,
 		Workers:    *workers,
+		DomainJ:    *domainJ,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	totalStart := time.Now()

@@ -15,7 +15,7 @@ import (
 // duetObs holds the pre-resolved instruments; nil on d.obs disables
 // everything.
 type duetObs struct {
-	eng    *sim.Engine
+	eng    sim.Host
 	tr     *obs.Tracer
 	tid    int32
 	qdepth *obs.Histogram // session fetch-queue depth after enqueue
@@ -27,7 +27,7 @@ var qdepthBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // EnableObs attaches observability to the framework. Call once at
 // machine assembly, before the simulation runs.
-func (d *Duet) EnableObs(e *sim.Engine, o *obs.Obs) {
+func (d *Duet) EnableObs(e sim.Host, o *obs.Obs) {
 	if o == nil || (o.Trace == nil && o.Metrics == nil) {
 		return
 	}
@@ -56,16 +56,17 @@ func (d *Duet) observeDegraded() {
 
 // PublishMetrics absorbs the framework's cumulative counters into the
 // registry under "duet.*". Safe to call repeatedly; values are absolute
-// so re-absorption cannot double-count.
+// so re-absorption cannot double-count. The MeasureCPU wall-clock
+// accumulators (HookNanos, FetchNanos) are deliberately excluded: the
+// registry must be a pure function of the simulation's inputs, and real
+// CPU time is not — fig9 reports those on stderr instead.
 func (d *Duet) PublishMetrics(r *obs.Registry) {
 	if r == nil {
 		return
 	}
 	s := &d.stats
 	r.SetCounter("duet.hook_calls", s.HookCalls)
-	r.SetCounter("duet.hook_nanos", s.HookNanos)
 	r.SetCounter("duet.fetch_calls", s.FetchCalls)
-	r.SetCounter("duet.fetch_nanos", s.FetchNanos)
 	r.SetCounter("duet.items_fetched", s.ItemsFetched)
 	r.SetCounter("duet.events_dropped", s.EventsDropped)
 	r.SetCounter("duet.degraded_sessions", s.DegradedSessions)

@@ -95,7 +95,7 @@ type Stats struct {
 
 // FS is a simulated copy-on-write filesystem on one device.
 type FS struct {
-	eng   *sim.Engine
+	eng   sim.Host
 	id    pagecache.FSID
 	disk  *storage.Disk
 	cache *pagecache.Cache
@@ -153,7 +153,7 @@ type revEntry struct {
 
 // New creates an empty filesystem spanning the whole device, using the
 // shared page cache for all file data.
-func New(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache) *FS {
+func New(e sim.Host, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache) *FS {
 	nb := disk.Blocks()
 	fs := &FS{
 		eng:     e,

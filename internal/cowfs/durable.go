@@ -268,7 +268,7 @@ func (fs *FS) CrashImage() *CrashImage {
 // extent maps; the medium state is transplanted; injected bad blocks
 // are re-injected on the new disk. The caller should then run
 // CheckInvariants and a full checksum scrub (machine.Recover does).
-func Remount(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, img *CrashImage) (*FS, error) {
+func Remount(e sim.Host, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, img *CrashImage) (*FS, error) {
 	nb := disk.Blocks()
 	if int64(len(img.diskVer)) != nb {
 		return nil, fmt.Errorf("cowfs: remount on %d-block device, image has %d", nb, len(img.diskVer))

@@ -66,6 +66,21 @@ var ScaleSmall = Scale{
 	UtilStep:     0.1,
 }
 
+// ScaleMedium sits between small and full: enough data and window for
+// per-cell runtimes where intra-simulation parallelism (-dj) pays off
+// measurably, while a single cell still finishes in minutes. It is the
+// scale BENCH_medium.json is recorded at.
+var ScaleMedium = Scale{
+	Name:         "medium",
+	DataPages:    786432,  // 3 GiB
+	DeviceBlocks: 2097152, // 8 GiB
+	CachePages:   32768,   // 128 MiB ≈ 4.2% of data
+	Window:       300 * sim.Second,
+	Seeds:        2,
+	DeviceSlow:   2,
+	UtilStep:     0.1,
+}
+
 // ScaleFull approximates the paper's setup (50 GB data, 2 GB cache,
 // 30-minute window). Expect long runtimes and several GB of memory.
 var ScaleFull = Scale{
@@ -86,6 +101,8 @@ func ByName(name string) (Scale, bool) {
 		return ScaleTiny, true
 	case "small", "":
 		return ScaleSmall, true
+	case "medium":
+		return ScaleMedium, true
 	case "full":
 		return ScaleFull, true
 	}
@@ -159,6 +176,10 @@ type env struct {
 	gen   *workload.Generator // nil when TargetUtil <= 0
 	spec  EnvSpec             // resolved spec (labels the cell's trace)
 	obs   *obs.Obs            // nil unless EnableObs is active
+	// traceSlot is the cell's reserved position in the run-level trace
+	// list (-1 to append): grid cells get input-order slots so the trace
+	// file is byte-identical at any worker count.
+	traceSlot int
 }
 
 // build constructs the machine, population and (rate-resolved) workload
@@ -202,7 +223,7 @@ func buildWith(spec EnvSpec, rate float64, o *obs.Obs) (*env, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &env{m: m, files: files, spec: spec, obs: o}
+	e := &env{m: m, files: files, spec: spec, obs: o, traceSlot: -1}
 	if spec.TargetUtil > 0 {
 		gen, err := workload.New(m.Eng, m.FS, files, workload.Config{
 			Personality: spec.Personality,
@@ -464,6 +485,12 @@ func (o *Outcome) Completed() bool {
 // start the workload, run the tasks concurrently, stop at the window (or
 // when all tasks finish).
 func runTasks(spec RunSpec) (*Outcome, error) {
+	return runTasksSlot(spec, -1)
+}
+
+// runTasksSlot is runTasks with an explicit trace slot (RunGrid reserves
+// input-order slots so parallel completion cannot reorder the trace).
+func runTasksSlot(spec RunSpec, slot int) (*Outcome, error) {
 	rate, err := calibrateRate(spec.Env)
 	if err != nil {
 		return nil, err
@@ -476,6 +503,7 @@ func runTasks(spec RunSpec) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.traceSlot = slot
 	return runTasksOn(e, spec.Tasks, spec.Duet, spec.Env.Scale.Window)
 }
 
@@ -580,6 +608,7 @@ func runTasksOn(e *env, taskNames []TaskName, duet bool, window sim.Time) (*Outc
 		out.Workload = e.gen.Stats()
 	}
 	out.Elapsed = eng.Now() - start
+	countCell()
 	finishCell(e, out, duet)
 	return out, nil
 }

@@ -28,7 +28,7 @@ func TestUtilsSweep(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "tab5", "tab6", "mem", "lat",
+		"fig9", "fig10", "tab5", "tab6", "mem", "lat", "shard",
 		"ab-sched", "ab-fetch", "ab-policy", "ab-done"}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

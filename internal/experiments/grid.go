@@ -36,6 +36,13 @@ var cellsRun atomic.Int64
 // CellsRun returns the total number of grid cells executed so far.
 func CellsRun() int64 { return cellsRun.Load() }
 
+// countCell records one completed simulation cell. Every site that runs
+// a full experiment machine — grid cells via runTasksOn, the ablations'
+// hand-driven engines, the GC and fault sweeps, rsync — must call it
+// exactly once per cell, so the benchmark trajectory's per-experiment
+// "cells" field reflects the work that actually ran.
+func countCell() { cellsRun.Add(1) }
+
 // CellResult is one grid cell's outcome, tagged with the index of the
 // RunSpec that produced it.
 type CellResult struct {
@@ -50,8 +57,16 @@ type CellResult struct {
 // are aggregated per cell rather than aborting the grid; FirstErr
 // collapses them for callers that want fail-fast semantics.
 func RunGrid(cells []RunSpec, workers int) []CellResult {
+	// Trace slots are reserved up front in input order, so the trace file
+	// lists cells by grid position no matter which worker finishes first —
+	// the trace-side analogue of the results reordering below.
+	base := reserveTraceSlots(len(cells))
 	return runCells(len(cells), workers, func(i int) (*Outcome, error) {
-		return runTasks(cells[i])
+		slot := -1
+		if base >= 0 {
+			slot = base + i
+		}
+		return runTasksSlot(cells[i], slot)
 	})
 }
 
@@ -111,7 +126,6 @@ func runCells(n, workers int, run func(int) (*Outcome, error)) []CellResult {
 		out, err := run(i)
 		releaseSlot()
 		results[i] = CellResult{Index: i, Outcome: out, Err: err}
-		cellsRun.Add(1)
 		d := done.Add(1)
 		if Progress != nil && n > 1 {
 			progressMu.Lock()

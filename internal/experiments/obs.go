@@ -19,9 +19,11 @@ import (
 // determinism guarantee the grid already makes.
 //
 // Traces cannot be merged commutatively (they are ordered streams), so
-// per-cell tracers are collected in completion order and exported as
-// separate trace processes. Callers that need a byte-deterministic
-// trace run with one worker (duetbench -trace forces this).
+// per-cell tracers are exported as separate trace processes. Grid cells
+// reserve their position in the trace list up front, in input order
+// (reserveTraceSlots), and serially-driven cells append as they finish;
+// either way the trace file is a pure function of the run's inputs, so
+// -trace no longer needs a single worker.
 
 var obsCfg struct {
 	mu      sync.Mutex
@@ -67,12 +69,54 @@ func ObsRegistry() *obs.Registry {
 	return obsCfg.reg
 }
 
-// CellTraces returns the per-cell tracers collected so far, in cell
-// completion order (deterministic only when cells run sequentially).
+// CellTraces returns the per-cell tracers collected so far, in
+// deterministic order: grid cells at their reserved input-order slots,
+// serially-driven cells in completion (= program) order. Slots whose
+// cell errored out (or recorded nothing) are skipped.
 func CellTraces() []obs.TraceProcess {
 	obsCfg.mu.Lock()
 	defer obsCfg.mu.Unlock()
-	return obsCfg.cells
+	var out []obs.TraceProcess
+	for _, c := range obsCfg.cells {
+		if c.T != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// obsTracing reports whether per-cell tracing is active. The one
+// remaining nondeterministic ordering — tab5's scan-level fan-out, which
+// issues whole grids concurrently — consults this to fall back to serial
+// scans while tracing.
+func obsTracing() bool {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	return obsCfg.tracing
+}
+
+// reserveTraceSlots claims n consecutive positions in the trace list and
+// returns the first index, or -1 when tracing is off. Reserving before
+// the cells run pins the export order to grid input order.
+func reserveTraceSlots(n int) int {
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if !obsCfg.tracing {
+		return -1
+	}
+	base := len(obsCfg.cells)
+	obsCfg.cells = append(obsCfg.cells, make([]obs.TraceProcess, n)...)
+	return base
+}
+
+// putCellTrace stores a finished cell's tracer at its reserved slot, or
+// appends when the cell had none (serially-driven cells).
+func putCellTrace(slot int, tp obs.TraceProcess) {
+	if slot >= 0 && slot < len(obsCfg.cells) {
+		obsCfg.cells[slot] = tp
+		return
+	}
+	obsCfg.cells = append(obsCfg.cells, tp)
 }
 
 // newCellObs builds the obs handle for one cell, or nil when
@@ -96,6 +140,7 @@ func newCellObs() *obs.Obs {
 // sequentially per utilization point, so trace collection order is the
 // deterministic input order.
 func finishLFSCell(o *obs.Obs, m *machine.LFSMachine, name string) {
+	countCell()
 	if o == nil {
 		return
 	}
@@ -107,7 +152,30 @@ func finishLFSCell(o *obs.Obs, m *machine.LFSMachine, name string) {
 		obsCfg.reg.Counter("grid.cells").Inc()
 	}
 	if o.Trace != nil {
-		obsCfg.cells = append(obsCfg.cells, obs.TraceProcess{Name: name, T: o.Trace})
+		putCellTrace(-1, obs.TraceProcess{Name: name, T: o.Trace})
+	}
+}
+
+// finishDirectCell folds a hand-driven cell — one that runs its engine
+// directly instead of through runTasksOn (the ablations, the overhead
+// probes, rsync) — into the run-level state and counts it. Such cells
+// run serially inside their experiment, so appending preserves
+// determinism.
+func finishDirectCell(e *env, name string) {
+	countCell()
+	o := e.obs
+	if o == nil {
+		return
+	}
+	e.m.CollectMetrics(o.Metrics)
+	obsCfg.mu.Lock()
+	defer obsCfg.mu.Unlock()
+	if obsCfg.reg != nil {
+		obsCfg.reg.Merge(o.Metrics)
+		obsCfg.reg.Counter("grid.cells").Inc()
+	}
+	if o.Trace != nil {
+		putCellTrace(-1, obs.TraceProcess{Name: name, T: o.Trace})
 	}
 }
 
@@ -136,6 +204,6 @@ func finishCell(e *env, out *Outcome, duet bool) {
 		if duet {
 			name += " duet"
 		}
-		obsCfg.cells = append(obsCfg.cells, obs.TraceProcess{Name: name, T: o.Trace})
+		putCellTrace(e.traceSlot, obs.TraceProcess{Name: name, T: o.Trace})
 	}
 }

@@ -192,6 +192,11 @@ func runRsync(s Scale, seed int64, overlap float64, duet bool) (sim.Time, float6
 	if runErr != nil {
 		return 0, 0, runErr
 	}
+	mode := "base"
+	if duet {
+		mode = "duet"
+	}
+	finishDirectCell(e, fmt.Sprintf("rsync %s ov%.2f seed%d", mode, overlap, seed))
 	savedFrac := 0.0
 	if r.Report.WorkTotal > 0 {
 		savedFrac = float64(r.Report.Saved) / float64(r.Report.WorkTotal)
@@ -280,7 +285,14 @@ func runTab5(s Scale, w io.Writer) error {
 	}
 	utils := make([]float64, len(scans))
 	errs := make([]error, len(scans))
-	gridEach(len(scans), Workers, func(i int) {
+	// Concurrent scans issue whole seed-grids in nondeterministic order;
+	// with tracing on, fall back to serial scans so trace slots are
+	// reserved in program order (the inner grids still parallelize).
+	scanWorkers := Workers
+	if obsTracing() {
+		scanWorkers = 1
+	}
+	gridEach(len(scans), scanWorkers, func(i int) {
 		utils[i], errs[i] = maxUtilization(s, scans[i].row, scans[i].task, scans[i].duet)
 	})
 	var rows [][]string

@@ -109,7 +109,7 @@ func runFaultsSweep(s Scale, w io.Writer) error {
 				return fmt.Errorf("faults %s seed %d: %w", row.name, seed, err)
 			}
 			agg.add(cell)
-			cellsRun.Add(1)
+			countCell()
 		}
 		injected := agg.rob.TransientFaults + agg.rob.PermanentFaults + agg.rob.TornWrites + int64(row.latent*len(seeds(s)))
 		fmt.Fprintf(w, "%-16s %9d %9d %9d %6d %7d %9d %9d %8d\n",
@@ -356,7 +356,7 @@ func finishFaultCell(o *obs.Obs, m *machine.Machine, rowName string, seed int64)
 		obsCfg.reg.Counter("grid.cells").Inc()
 	}
 	if o.Trace != nil {
-		obsCfg.cells = append(obsCfg.cells,
+		putCellTrace(-1,
 			obs.TraceProcess{Name: fmt.Sprintf("faults %s seed%d", rowName, seed), T: o.Trace})
 	}
 }

@@ -247,7 +247,7 @@ func (fs *FS) CrashImage() *CrashImage {
 // then rebuild every segment's slots, counts, buckets, and bitmaps from
 // the recovered block maps. The caller should then run CheckInvariants
 // (machine.Recover does).
-func Remount(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, cfg Config, img *CrashImage) (*FS, error) {
+func Remount(e sim.Host, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, cfg Config, img *CrashImage) (*FS, error) {
 	nb := disk.Blocks()
 	if int64(len(img.diskVer)) != nb {
 		return nil, fmt.Errorf("lfs: remount on %d-block device, image has %d", nb, len(img.diskVer))

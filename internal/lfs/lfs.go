@@ -116,7 +116,7 @@ func DefaultConfig() Config { return Config{SegBlocks: 512, ReservedSegs: 8} }
 
 // FS is the simulated log-structured filesystem.
 type FS struct {
-	eng   *sim.Engine
+	eng   sim.Host
 	id    pagecache.FSID
 	disk  *storage.Disk
 	cache *pagecache.Cache
@@ -158,7 +158,7 @@ type FS struct {
 }
 
 // New creates a log-structured filesystem spanning the device.
-func New(e *sim.Engine, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, cfg Config) *FS {
+func New(e sim.Host, id pagecache.FSID, disk *storage.Disk, cache *pagecache.Cache, cfg Config) *FS {
 	if cfg.SegBlocks <= 0 {
 		cfg = DefaultConfig()
 	}

@@ -286,7 +286,7 @@ type wbBatch struct {
 
 // Cache is the simulated page cache.
 type Cache struct {
-	eng      *sim.Engine
+	eng      sim.Host
 	cfg      Config
 	pages    pageTab
 	dirty    *rbtree.Tree[PageKey, *Page]
@@ -312,7 +312,7 @@ type Cache struct {
 }
 
 // New creates a cache and starts its flusher process on e.
-func New(e *sim.Engine, cfg Config) *Cache {
+func New(e sim.Host, cfg Config) *Cache {
 	if cfg.CapacityPages <= 0 {
 		panic("pagecache: non-positive capacity")
 	}

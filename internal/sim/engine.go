@@ -6,52 +6,128 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Engine is a discrete-event scheduler. Processes (Proc) are goroutines
-// that cooperate with the engine: exactly one process runs at a time, and
-// the virtual clock advances only when every process is blocked.
+// that cooperate with the engine. Every process belongs to exactly one
+// event Domain; within a domain exactly one process runs at a time and
+// the domain's virtual clock advances only when every local process is
+// blocked, so code confined to one domain needs no locking.
 //
-// Engines are not safe for concurrent use from outside the simulation; the
-// only goroutines that may touch an Engine are the one that calls Run and
-// the processes the engine itself resumes (which never run concurrently).
+// An engine with a single domain (the default) behaves exactly like the
+// classic global scheduler: one process in the whole simulation runs at
+// a time. With multiple domains, Run executes domains concurrently on
+// up to SetWorkers goroutines under a conservative time-window barrier
+// (see runWindows); domains may interact only through Ports, and
+// same-seed runs produce identical results at any worker count.
+//
+// Engines are not safe for concurrent use from outside the simulation:
+// the only goroutines that may touch engine state are the one that
+// calls Run, the engine's window workers, and the processes the engine
+// itself resumes.
 type Engine struct {
-	now      Time
-	seq      uint64 // tiebreaker for deterministic ordering
-	timers   timerHeap
-	runq     procRing
-	yield    chan struct{}
-	cur      *Proc
-	procs    []*Proc // all procs ever created, in creation order
-	liveN    int
-	running  bool
+	seed    int64
+	running bool
+	// stopping is the latched shutdown flag every process observes. In a
+	// single-domain engine Stop sets it immediately (the classic
+	// semantics); in a multi-domain engine it is only written at window
+	// barriers, while every domain worker is parked, so mid-window reads
+	// are race-free and — crucially — identical at any worker count.
 	stopping bool
-	failure  error
-	seed     int64
-	nextPID  int
-	tracer   Tracer // nil unless observability is on (see trace.go)
+	// stopReq records that Stop was called; the barrier latches it into
+	// stopping. It is atomic because any domain's process may call Stop.
+	stopReq atomic.Bool
+	failure error
+	workers int
+
+	domains []*Domain
+	d0      *Domain // the default domain
+
+	ports  []portFlusher
+	minLat Time // smallest port latency: the conservative lookahead bound
 }
+
+// maxTime is the "no event" sentinel for horizon arithmetic.
+const maxTime = Time(1<<63 - 1)
 
 // ErrStopped is returned by Wait-style primitives when they are interrupted
 // by engine shutdown. Domain code normally never sees it: shutdown unwinds
 // processes with a private panic value instead.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// Host is a place processes can be created: either the Engine itself
+// (its default domain) or a specific Domain. Components take a Host so
+// the machine wiring can assign each of them to an event domain without
+// the component knowing about partitioning.
+type Host interface {
+	// Now returns the host domain's current virtual time.
+	Now() Time
+	// Go creates a process in the host domain.
+	Go(name string, fn func(*Proc)) *Proc
+	// DeriveRand returns a deterministic random source for the named
+	// component, independent for distinct names (and distinct domains).
+	DeriveRand(name string) *rand.Rand
+	// Engine returns the underlying engine.
+	Engine() *Engine
+	// Dom returns the concrete domain.
+	Dom() *Domain
+}
+
 // New creates an engine whose randomness derives from seed. Two engines
 // built with the same seed and driven by the same code produce identical
 // event sequences.
 func New(seed int64) *Engine {
-	return &Engine{
-		yield: make(chan struct{}),
-		seed:  seed,
-	}
+	e := &Engine{seed: seed, workers: 1}
+	e.d0 = &Domain{id: 0, name: "main", eng: e, yield: make(chan struct{})}
+	e.domains = []*Domain{e.d0}
+	return e
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the default domain's current virtual time. During a
+// multi-domain run, domain clocks advance independently within a
+// lookahead window; process code should use Proc.Now (its own domain's
+// clock).
+func (e *Engine) Now() Time { return e.d0.now }
 
 // Seed returns the seed the engine was created with.
 func (e *Engine) Seed() int64 { return e.seed }
+
+// Engine implements Host.
+func (e *Engine) Engine() *Engine { return e }
+
+// Dom returns the default domain.
+func (e *Engine) Dom() *Domain { return e.d0 }
+
+// Domains returns all domains in creation order (the default domain is
+// always first).
+func (e *Engine) Domains() []*Domain { return e.domains }
+
+// SetWorkers sets how many OS goroutines Run may use to execute domains
+// concurrently (the -dj knob). Values below 1 mean 1. The worker count
+// never affects simulation results, only wall-clock time.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// NewDomain creates a new event domain. Domains must be created before
+// Run. Components hosted on distinct domains may interact only through
+// Ports; sharing mutable state across domains is a data race.
+func (e *Engine) NewDomain(name string) *Domain {
+	if e.running {
+		panic("sim: NewDomain during Run")
+	}
+	d := &Domain{id: len(e.domains), name: name, eng: e, yield: make(chan struct{})}
+	e.domains = append(e.domains, d)
+	return d
+}
 
 // DeriveRand returns a deterministic random source for the named component.
 // The stream depends only on the engine seed and the name, so adding a new
@@ -67,13 +143,248 @@ func (e *Engine) DeriveRand(name string) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h)))
 }
 
+// Go creates a process in the default domain. It may be called before Run
+// to seed the simulation, or by a running process to spawn concurrent
+// work. The new process starts after the caller next blocks.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc { return e.d0.Go(name, fn) }
+
+// Stop requests that the simulation end. It may be called from inside a
+// process or (before Run returns) from the driving goroutine between runs.
+// In a multi-domain run the request takes effect at the next window
+// barrier — at most one lookahead window after the call — so the exact
+// stop point is identical at any worker count.
+func (e *Engine) Stop() {
+	e.stopReq.Store(true)
+	if !e.running || len(e.domains) == 1 {
+		e.stopping = true
+	}
+}
+
+// Stopping reports whether shutdown has been latched. Multi-domain runs
+// latch Stop requests at window barriers, so polling loops observe the
+// transition at a deterministic virtual time regardless of workers.
+func (e *Engine) Stopping() bool { return e.stopping }
+
+// Run executes the simulation until it quiesces (no runnable process, no
+// pending timer, and no undelivered port message), or until Stop is
+// called. It returns the first process panic converted to an error, if
+// any occurred.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	if len(e.domains) == 1 {
+		e.runSingle()
+	} else {
+		e.runWindows()
+	}
+	e.shutdown()
+	return e.failure
+}
+
+// runSingle is the classic serial event loop over the default domain,
+// preserved verbatim for single-domain engines: it is the hot path of
+// every grid cell and must stay allocation-free per event.
+func (e *Engine) runSingle() {
+	d := e.d0
+	for !e.stopping {
+		p, ok := d.runq.pop()
+		if !ok {
+			tm, ok := d.timers.pop()
+			if !ok {
+				break // quiescent: every live proc is waiting on a condition
+			}
+			if tm.at > d.now {
+				d.now = tm.at
+			}
+			if tm.port != nil {
+				tm.port.deliverRipe(d)
+				continue
+			}
+			d.ready(tm.p)
+			continue
+		}
+		d.resume(p)
+	}
+}
+
+// runWindows is the conservative time-window barrier loop. Each round:
+//
+//  1. (serial) deliver cross-domain messages produced last round, in
+//     canonical (time, port, send-order) order;
+//  2. (serial) compute the global next event time T and the horizon
+//     H = T + L, where L is the smallest port latency — conservatively,
+//     no message produced at or after T can be delivered before H;
+//  3. (parallel) every domain independently executes all its events
+//     with time < H;
+//  4. (serial) aggregate failures and latch stop requests.
+//
+// Because domains share no state and messages crossing domains are
+// delivered only at barriers in a canonical order, the simulation
+// result is identical at any worker count.
+func (e *Engine) runWindows() {
+	active := make([]*Domain, 0, len(e.domains))
+	for !e.stopping {
+		if e.stopReq.Load() {
+			break
+		}
+		for _, pt := range e.ports {
+			pt.flush()
+		}
+		nextT := maxTime
+		for _, d := range e.domains {
+			if t := d.nextEvent(); t < nextT {
+				nextT = t
+			}
+		}
+		if nextT == maxTime {
+			break // quiescent everywhere, nothing in flight
+		}
+		horizon := maxTime
+		if e.minLat > 0 && e.minLat < maxTime-nextT {
+			horizon = nextT + e.minLat
+		}
+		active = active[:0]
+		for _, d := range e.domains {
+			if d.nextEvent() < horizon {
+				active = append(active, d)
+			}
+		}
+		e.runDomains(active, horizon)
+		for _, d := range e.domains {
+			if d.failure != nil {
+				if e.failure == nil {
+					e.failure = d.failure
+				}
+				e.stopReq.Store(true)
+			}
+		}
+	}
+	e.stopping = true
+}
+
+// runDomains executes each active domain's window, fanning out across
+// the worker budget. Domains are independent within a window, so the
+// assignment of domains to workers cannot affect results.
+func (e *Engine) runDomains(active []*Domain, horizon Time) {
+	n := len(active)
+	if n == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for _, d := range active {
+			d.runWindow(horizon)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				d := active[i]
+				func() {
+					defer func() {
+						if r := recover(); r != nil && d.failure == nil {
+							d.failure = fmt.Errorf("sim: domain %q scheduler panicked: %v\n%s",
+								d.name, r, debug.Stack())
+						}
+					}()
+					d.runWindow(horizon)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunFor runs the simulation for at most d of virtual time (plus, in a
+// multi-domain engine, at most one lookahead window).
+func (e *Engine) RunFor(d Time) error {
+	e.Go("sim.stop-timer", func(p *Proc) {
+		p.Sleep(d)
+		e.Stop()
+	})
+	return e.Run()
+}
+
+// shutdown unwinds every live process so no goroutines leak.
+func (e *Engine) shutdown() {
+	e.stopping = true
+	for _, d := range e.domains {
+		d.runq = procRing{}
+		d.timers = timerHeap{}
+	}
+	for {
+		resumed := false
+		for _, d := range e.domains {
+			for _, p := range d.procs {
+				if !p.done {
+					d.resume(p)
+					resumed = true
+				}
+			}
+		}
+		if !resumed {
+			break
+		}
+	}
+}
+
+// noteFailure records a process panic. The per-domain slot keeps window
+// execution deterministic (each domain aborts on its own first failure);
+// the single-domain path also stops the engine immediately, preserving
+// the classic semantics.
+func (e *Engine) noteFailure(d *Domain, err error) {
+	if d.failure == nil {
+		d.failure = err
+	}
+	if len(e.domains) == 1 {
+		if e.failure == nil {
+			e.failure = err
+		}
+		e.stopping = true
+	}
+}
+
+// DumpWaiters returns a human-readable description of blocked processes,
+// useful when a simulation quiesces unexpectedly.
+func (e *Engine) DumpWaiters() string {
+	var b strings.Builder
+	for _, d := range e.domains {
+		for _, p := range d.procs {
+			switch {
+			case p.done:
+			case p.sleeping:
+				fmt.Fprintf(&b, "proc %q: sleep until %s\n", p.name, p.sleepUntil)
+			case p.waitReason != "":
+				fmt.Fprintf(&b, "proc %q: %s\n", p.name, p.waitReason)
+			}
+		}
+	}
+	return b.String()
+}
+
 // procKilled is the panic value used to unwind processes at shutdown.
 type procKilled struct{}
 
 // Proc is a simulated process. Every Proc method must be called from the
-// process's own goroutine while it is the running process.
+// process's own goroutine while it is the running process of its domain.
 type Proc struct {
 	eng     *Engine
+	dom     *Domain
 	name    string
 	pid     int
 	wake    chan struct{}
@@ -92,56 +403,25 @@ type Proc struct {
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Dom returns the event domain this process belongs to.
+func (p *Proc) Dom() *Domain { return p.dom }
+
+// Now returns the process's domain's current virtual time.
+func (p *Proc) Now() Time { return p.dom.now }
 
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
 
 // Rand returns a deterministic random source scoped to this process. The
 // source is created on first use and reused, so repeated calls continue
-// one stream.
+// one stream. Streams are independent across domains: pids are
+// domain-local, and non-default domains mix their name into the
+// derivation.
 func (p *Proc) Rand() *rand.Rand {
 	if p.rng == nil {
-		p.rng = p.eng.DeriveRand(fmt.Sprintf("proc:%s#%d", p.name, p.pid))
+		p.rng = p.dom.DeriveRand(fmt.Sprintf("proc:%s#%d", p.name, p.pid))
 	}
 	return p.rng
-}
-
-// Go creates a process that will run fn. It may be called before Run to
-// seed the simulation, or by a running process to spawn concurrent work.
-// The new process starts after the caller next blocks.
-func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
-	p := &Proc{
-		eng:  e,
-		name: name,
-		pid:  e.nextPID,
-		wake: make(chan struct{}, 1),
-	}
-	e.nextPID++
-	e.procs = append(e.procs, p)
-	if e.stopping {
-		p.done = true
-		return p
-	}
-	e.liveN++
-	go func() {
-		<-p.wake
-		p.started = true
-		// The completion handshake runs in a defer so it fires even when
-		// the body exits via runtime.Goexit (e.g. t.Fatal inside a test
-		// process) — otherwise the scheduler would block forever.
-		defer func() {
-			p.done = true
-			e.liveN--
-			e.yield <- struct{}{}
-		}()
-		if !e.stopping {
-			runProc(p, fn)
-		}
-	}()
-	e.ready(p)
-	return p
 }
 
 func runProc(p *Proc, fn func(*Proc)) {
@@ -150,37 +430,26 @@ func runProc(p *Proc, fn func(*Proc)) {
 			if _, ok := r.(procKilled); ok {
 				return
 			}
-			e := p.eng
-			if e.failure == nil {
-				e.failure = fmt.Errorf("sim: proc %q panicked: %v\n%s", p.name, r, debug.Stack())
-			}
-			e.stopping = true
+			p.eng.noteFailure(p.dom, fmt.Errorf("sim: proc %q panicked: %v\n%s",
+				p.name, r, debug.Stack()))
 		}
 	}()
 	fn(p)
-}
-
-// ready marks p runnable at the current time.
-func (e *Engine) ready(p *Proc) {
-	if p.done {
-		return
-	}
-	e.runq.push(p)
 }
 
 // park blocks the calling process until it is made runnable again. The
 // reason must be a preformatted (ideally static) string: it is recorded
 // unconditionally, so building it must not allocate on the hot path.
 func (p *Proc) park(reason string) {
-	e := p.eng
+	d := p.dom
 	p.waitReason = reason
 	var parkAt Time
-	if e.tracer != nil {
-		parkAt = e.now
+	if d.tracer != nil {
+		parkAt = d.now
 	}
-	e.yield <- struct{}{}
+	d.yield <- struct{}{}
 	<-p.wake
-	if t := e.tracer; t != nil {
+	if t := d.tracer; t != nil {
 		// The parked interval, named by its wait reason, becomes one
 		// virtual-time slice on the process's track. Reasons are static
 		// strings (see above), so recording never formats.
@@ -188,11 +457,11 @@ func (p *Proc) park(reason string) {
 		if name == "" {
 			name = "sleep"
 		}
-		t.Slice(p.traceTID(t), "sim", name, parkAt, e.now)
+		t.Slice(p.traceTID(t), "sim", name, parkAt, d.now)
 	}
 	p.waitReason = ""
 	p.sleeping = false
-	if e.stopping {
+	if p.eng.stopping {
 		panic(procKilled{})
 	}
 }
@@ -200,117 +469,31 @@ func (p *Proc) park(reason string) {
 // Sleep suspends the process for d of virtual time. Non-positive durations
 // yield the processor and resume at the current time after other runnable
 // processes have had a turn.
-func (p *Proc) Sleep(d Time) {
-	e := p.eng
-	if d <= 0 {
-		e.ready(p)
+func (p *Proc) Sleep(t Time) {
+	d := p.dom
+	if t <= 0 {
+		d.ready(p)
 		p.park("yield")
 		return
 	}
-	e.seq++
-	e.timers.push(timer{at: e.now + d, seq: e.seq, p: p})
+	d.seq++
+	d.timers.push(timer{at: d.now + t, seq: d.seq, p: p})
 	p.sleeping = true
-	p.sleepUntil = e.now + d
+	p.sleepUntil = d.now + t
 	p.park("")
 }
 
 // Yield gives other runnable processes a turn without advancing time.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// Stop requests that the simulation end. It may be called from inside a
-// process or (before Run returns) from the driving goroutine between runs.
-// All processes are unwound; Run then returns.
-func (e *Engine) Stop() { e.stopping = true }
-
-// Stopping reports whether shutdown has been requested.
-func (e *Engine) Stopping() bool { return e.stopping }
-
-// Run executes the simulation until it quiesces (no runnable process and
-// no pending timer), or until Stop is called. It returns the first process
-// panic converted to an error, if any occurred.
-func (e *Engine) Run() error {
-	if e.running {
-		return errors.New("sim: Run called reentrantly")
-	}
-	e.running = true
-	defer func() { e.running = false }()
-	for !e.stopping {
-		p, ok := e.runq.pop()
-		if !ok {
-			tm, ok := e.timers.pop()
-			if !ok {
-				break // quiescent: every live proc is waiting on a condition
-			}
-			if tm.at > e.now {
-				e.now = tm.at
-			}
-			e.ready(tm.p)
-			continue
-		}
-		e.resume(p)
-	}
-	e.shutdown()
-	return e.failure
-}
-
-// RunFor runs the simulation for at most d of virtual time.
-func (e *Engine) RunFor(d Time) error {
-	e.Go("sim.stop-timer", func(p *Proc) {
-		p.Sleep(d)
-		e.Stop()
-	})
-	return e.Run()
-}
-
-func (e *Engine) resume(p *Proc) {
-	if p.done {
-		return
-	}
-	e.cur = p
-	p.wake <- struct{}{}
-	<-e.yield
-	e.cur = nil
-}
-
-// shutdown unwinds every live process so no goroutines leak.
-func (e *Engine) shutdown() {
-	e.stopping = true
-	e.runq = procRing{}
-	e.timers = timerHeap{}
-	for {
-		resumed := false
-		for _, p := range e.procs {
-			if !p.done {
-				e.resume(p)
-				resumed = true
-			}
-		}
-		if !resumed {
-			break
-		}
-	}
-}
-
-// DumpWaiters returns a human-readable description of blocked processes,
-// useful when a simulation quiesces unexpectedly.
-func (e *Engine) DumpWaiters() string {
-	var b strings.Builder
-	for _, p := range e.procs {
-		switch {
-		case p.done:
-		case p.sleeping:
-			fmt.Fprintf(&b, "proc %q: sleep until %s\n", p.name, p.sleepUntil)
-		case p.waitReason != "":
-			fmt.Fprintf(&b, "proc %q: %s\n", p.name, p.waitReason)
-		}
-	}
-	return b.String()
-}
-
 type timer struct {
 	at  Time
 	seq uint64
 	p   *Proc
+	// port, when non-nil, marks a cross-domain delivery event instead of
+	// a process wake: firing it moves ripe messages into the port's
+	// inbox (see port.go).
+	port portDeliverer
 }
 
 func (t timer) before(u timer) bool {
@@ -329,6 +512,13 @@ type timerHeap struct {
 }
 
 func (h *timerHeap) Len() int { return len(h.a) }
+
+func (h *timerHeap) peek() (timer, bool) {
+	if len(h.a) == 0 {
+		return timer{}, false
+	}
+	return h.a[0], true
+}
 
 func (h *timerHeap) push(t timer) {
 	h.a = append(h.a, t)

@@ -390,7 +390,7 @@ func TestShutdownUnwindsBlockedProcs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// All procs must be done after Run returns.
-	for _, p := range e.procs {
+	for _, p := range e.d0.procs {
 		if !p.done {
 			t.Errorf("proc %q still live after Run", p.name)
 		}

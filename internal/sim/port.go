@@ -1,0 +1,180 @@
+package sim
+
+// portFlusher is the engine-side view of a port: at every window barrier
+// the engine, running serially, moves sender-buffered messages into the
+// receiver's timer wheel. Iterating ports in creation order makes the
+// merge canonical.
+type portFlusher interface {
+	flush()
+}
+
+// portDeliverer is the receiver-domain view: a popped delivery timer
+// moves ripe messages into the inbox and wakes receivers.
+type portDeliverer interface {
+	deliverRipe(d *Domain)
+}
+
+type portMsg[T any] struct {
+	at Time
+	v  T
+}
+
+// Port is a one-way, timestamped channel between two domains — the only
+// legal way for state to cross a domain boundary. A message sent at
+// virtual time t is receivable at t+latency in the receiver's domain.
+//
+// The latency is not an implementation detail: it is the port's
+// lookahead contribution. The engine's conservative window is bounded by
+// the minimum latency over all ports, which is exactly why latency must
+// be positive and fixed — a zero-latency port would collapse the window
+// to nothing, and a variable one would break the sorted-delivery
+// invariant the barrier merge relies on.
+//
+// Determinism: sends buffer on the sender's side in program order; the
+// barrier (serial) assigns each message a receiver-local sequence number,
+// walking ports in creation order. Delivery order is therefore a pure
+// function of (virtual send time, port creation order, send order) and
+// cannot depend on the worker count.
+type Port[T any] struct {
+	name    string
+	from    *Domain
+	to      *Domain
+	latency Time
+
+	// out is written only by the sending domain during a window and
+	// drained only by the barrier; the window/barrier alternation is the
+	// synchronization.
+	out []portMsg[T]
+
+	// pending holds flushed-but-not-ripe messages in delivery order.
+	// Conservative windows guarantee every flush appends at times no
+	// earlier than everything already present (send times only grow
+	// across windows, latency is fixed), so ripeness is always a prefix.
+	pending []portMsg[T]
+	phead   int
+
+	inbox      []T
+	ihead      int
+	recvQ      WaitQueue
+	recvReason string
+}
+
+// NewPort creates a port carrying T from one domain to another with the
+// given fixed latency. Both hosts must belong to the same engine, the
+// domains must differ, and latency must be positive; ports must be
+// created before Run.
+func NewPort[T any](from, to Host, name string, latency Time) *Port[T] {
+	fd, td := from.Dom(), to.Dom()
+	e := fd.eng
+	switch {
+	case e != td.eng:
+		panic("sim: NewPort across engines")
+	case fd == td:
+		panic("sim: NewPort within one domain (use Chan)")
+	case latency <= 0:
+		panic("sim: NewPort latency must be positive (it bounds the lookahead window)")
+	case e.running:
+		panic("sim: NewPort during Run")
+	}
+	p := &Port[T]{
+		name: name, from: fd, to: td, latency: latency,
+		recvReason: "port-recv " + name,
+	}
+	if e.minLat == 0 || latency < e.minLat {
+		e.minLat = latency
+	}
+	e.ports = append(e.ports, p)
+	return p
+}
+
+// Name returns the port's name.
+func (pt *Port[T]) Name() string { return pt.name }
+
+// Latency returns the port's fixed delivery latency.
+func (pt *Port[T]) Latency() Time { return pt.latency }
+
+// Send timestamps v at the caller's current time plus the port latency
+// and buffers it for the next barrier. It never blocks: ports are
+// unbounded, modeling an asynchronous link. The caller must run on the
+// sending domain.
+func (pt *Port[T]) Send(p *Proc, v T) {
+	if p.dom != pt.from {
+		panic("sim: Port.Send from wrong domain: " + p.name + " on " + pt.name)
+	}
+	pt.out = append(pt.out, portMsg[T]{at: p.dom.now + pt.latency, v: v})
+}
+
+// Recv blocks the calling process (which must run on the receiving
+// domain) until a message ripens, then returns the oldest one.
+func (pt *Port[T]) Recv(p *Proc) T {
+	if p.dom != pt.to {
+		panic("sim: Port.Recv from wrong domain: " + p.name + " on " + pt.name)
+	}
+	for pt.ihead >= len(pt.inbox) {
+		pt.recvQ.Wait(p, pt.recvReason)
+	}
+	v := pt.inbox[pt.ihead]
+	var zero T
+	pt.inbox[pt.ihead] = zero
+	pt.ihead++
+	if pt.ihead == len(pt.inbox) {
+		pt.inbox = pt.inbox[:0]
+		pt.ihead = 0
+	}
+	return v
+}
+
+// TryRecv returns the oldest ripe message without blocking; ok is false
+// when none has ripened yet.
+func (pt *Port[T]) TryRecv() (v T, ok bool) {
+	if pt.ihead >= len(pt.inbox) {
+		return v, false
+	}
+	v = pt.inbox[pt.ihead]
+	var zero T
+	pt.inbox[pt.ihead] = zero
+	pt.ihead++
+	if pt.ihead == len(pt.inbox) {
+		pt.inbox = pt.inbox[:0]
+		pt.ihead = 0
+	}
+	return v, true
+}
+
+// Len returns the number of ripe, undelivered messages.
+func (pt *Port[T]) Len() int { return len(pt.inbox) - pt.ihead }
+
+// flush runs at the barrier, on the engine goroutine, with every domain
+// parked. Each buffered message becomes a delivery timer in the
+// receiving domain, sequenced by the receiver's own counter so the
+// (time, seq) order is identical at any worker count.
+func (pt *Port[T]) flush() {
+	if len(pt.out) == 0 {
+		return
+	}
+	to := pt.to
+	for _, m := range pt.out {
+		to.seq++
+		to.timers.push(timer{at: m.at, seq: to.seq, port: pt})
+		pt.pending = append(pt.pending, m)
+	}
+	pt.out = pt.out[:0]
+}
+
+// deliverRipe moves every pending message with at <= now into the inbox
+// and wakes one receiver per message. Ripe messages are always a prefix
+// of pending (see the type comment), so this is a linear scan that stops
+// at the first unripe entry.
+func (pt *Port[T]) deliverRipe(d *Domain) {
+	for pt.phead < len(pt.pending) && pt.pending[pt.phead].at <= d.now {
+		m := pt.pending[pt.phead]
+		pt.pending[pt.phead] = portMsg[T]{}
+		pt.phead++
+		pt.inbox = append(pt.inbox, m.v)
+		pt.recvQ.WakeOne()
+	}
+	if pt.phead == len(pt.pending) {
+		pt.pending = pt.pending[:0]
+		pt.phead = 0
+	}
+}

@@ -12,12 +12,13 @@ import "fmt"
 // Wakers call WakeOne or WakeAll after establishing the condition; woken
 // processes re-check it, so spurious wakeups are harmless.
 type WaitQueue struct {
-	e       *Engine
 	waiters procRing
 }
 
-// NewWaitQueue returns an empty queue bound to e.
-func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{e: e} }
+// NewWaitQueue returns an empty queue. The host argument is kept for
+// symmetry with the other constructors; a queue wakes each process onto
+// that process's own domain, so it carries no engine reference itself.
+func NewWaitQueue(h Host) *WaitQueue { return &WaitQueue{} }
 
 // Wait blocks the calling process until it is woken. The reason string is
 // surfaced by Engine.DumpWaiters for debugging stalled simulations; pass
@@ -36,7 +37,7 @@ func (q *WaitQueue) WakeOne() bool {
 			return false
 		}
 		if !p.done {
-			q.e.ready(p)
+			p.dom.ready(p)
 			return true
 		}
 	}
@@ -55,16 +56,15 @@ func (q *WaitQueue) Len() int { return q.waiters.len() }
 // blocks on Wait until another process calls Complete. Completing twice
 // panics; waiting after completion returns immediately.
 type Future[T any] struct {
-	e    *Engine
 	done bool
 	val  T
 	err  error
 	q    WaitQueue
 }
 
-// NewFuture returns an incomplete future bound to e.
-func NewFuture[T any](e *Engine) *Future[T] {
-	return &Future[T]{e: e, q: WaitQueue{e: e}}
+// NewFuture returns an incomplete future bound to h's domain.
+func NewFuture[T any](h Host) *Future[T] {
+	return &Future[T]{}
 }
 
 // Complete resolves the future and wakes all waiters.
@@ -107,7 +107,6 @@ func (f *Future[T]) Wait(p *Proc) (T, error) {
 // Unlike native Go channels it participates in virtual time — senders and
 // receivers block as sim processes. A capacity <= 0 means unbounded.
 type Chan[T any] struct {
-	e      *Engine
 	buf    []T
 	cap    int
 	closed bool
@@ -121,9 +120,11 @@ type Chan[T any] struct {
 }
 
 // NewChan returns a channel with the given capacity (<= 0 for unbounded).
-func NewChan[T any](e *Engine, capacity int, name string) *Chan[T] {
+// Like every sync primitive here, a Chan is domain-local state: sharing
+// one across domains is a data race — cross-domain traffic uses Ports.
+func NewChan[T any](h Host, capacity int, name string) *Chan[T] {
 	return &Chan[T]{
-		e: e, cap: capacity, sendQ: WaitQueue{e: e}, recvQ: WaitQueue{e: e}, name: name,
+		cap: capacity, name: name,
 		sendReason: "send " + name, recvReason: "recv " + name,
 	}
 }
@@ -202,8 +203,8 @@ type Semaphore struct {
 }
 
 // NewSemaphore returns a semaphore with n initial permits.
-func NewSemaphore(e *Engine, n int) *Semaphore {
-	return &Semaphore{avail: n, q: WaitQueue{e: e}}
+func NewSemaphore(h Host, n int) *Semaphore {
+	return &Semaphore{avail: n}
 }
 
 // Acquire takes a permit, blocking until one is available.
@@ -226,8 +227,8 @@ type WaitGroup struct {
 	q WaitQueue
 }
 
-// NewWaitGroup returns a wait group bound to e.
-func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{q: WaitQueue{e: e}} }
+// NewWaitGroup returns a wait group bound to h's domain.
+func NewWaitGroup(h Host) *WaitGroup { return &WaitGroup{} }
 
 // Add increments the counter by delta.
 func (w *WaitGroup) Add(delta int) {

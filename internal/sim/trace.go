@@ -17,22 +17,38 @@ type Tracer interface {
 	Instant(tid int32, cat, name string, ts Time)
 }
 
-// SetTracer attaches a tracer to the engine. Pass the concrete value
-// only when tracing is enabled: a non-nil interface holding a nil
-// tracer would defeat the engine's nil checks. Must be called before
-// Run.
-func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+// SetTracer attaches a tracer to the engine's default domain. Pass the
+// concrete value only when tracing is enabled: a non-nil interface
+// holding a nil tracer would defeat the engine's nil checks. Must be
+// called before Run. Non-default domains need their own tracer value
+// (Domain.SetTracer): domains record concurrently during a window, so
+// one shared buffer would race.
+func (e *Engine) SetTracer(t Tracer) { e.d0.tracer = t }
 
-// Tracer returns the attached tracer (nil when tracing is off).
-func (e *Engine) Tracer() Tracer { return e.tracer }
+// Tracer returns the default domain's tracer (nil when tracing is off).
+func (e *Engine) Tracer() Tracer { return e.d0.tracer }
 
-// ProcsCreated returns how many processes were ever created — one of
-// the kernel-level quantities the metrics registry absorbs.
-func (e *Engine) ProcsCreated() int { return len(e.procs) }
+// ProcsCreated returns how many processes were ever created across all
+// domains — one of the kernel-level quantities the metrics registry
+// absorbs.
+func (e *Engine) ProcsCreated() int {
+	n := 0
+	for _, d := range e.domains {
+		n += len(d.procs)
+	}
+	return n
+}
 
-// TimersScheduled returns how many timers were ever pushed (every
-// Sleep with a positive duration schedules exactly one).
-func (e *Engine) TimersScheduled() uint64 { return e.seq }
+// TimersScheduled returns how many timers were ever pushed across all
+// domains (every Sleep with a positive duration schedules exactly one;
+// cross-domain deliveries add one each).
+func (e *Engine) TimersScheduled() uint64 {
+	var n uint64
+	for _, d := range e.domains {
+		n += d.seq
+	}
+	return n
+}
 
 // traceTID lazily registers the process's trace track. Track names are
 // the process names, so processes spawned under the same name (timer

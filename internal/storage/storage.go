@@ -142,7 +142,7 @@ func (s *Stats) Owner(name string) *OwnerStats {
 type Disk struct {
 	Name string
 
-	eng        *sim.Engine
+	eng        sim.Host
 	model      Model
 	sched      Scheduler
 	stats      Stats
@@ -162,7 +162,7 @@ type Disk struct {
 }
 
 // NewDisk creates a disk and starts its executor process on e.
-func NewDisk(e *sim.Engine, name string, model Model, sched Scheduler) *Disk {
+func NewDisk(e sim.Host, name string, model Model, sched Scheduler) *Disk {
 	d := &Disk{
 		Name:  name,
 		eng:   e,

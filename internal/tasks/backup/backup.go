@@ -112,7 +112,7 @@ func (b *Backup) Run(p *sim.Proc) error {
 		// sequential pass is starved waiting for idle-priority I/O.
 		stop := false
 		defer func() { stop = true }()
-		p.Engine().Go("backup-harvester", func(hp *sim.Proc) {
+		p.Go("backup-harvester", func(hp *sim.Proc) {
 			for !stop && !hp.Engine().Stopping() {
 				hp.Sleep(20 * sim.Millisecond)
 				b.harvest()

@@ -32,7 +32,7 @@ type Tracker struct {
 	// so Flushed relocations move the count between segments.
 	lastSeg map[pageID]int
 	fetch   []core.Item
-	eng     *sim.Engine
+	eng     sim.Host
 	// EventsApplied counts processed notifications.
 	EventsApplied int64
 }
@@ -44,7 +44,7 @@ type pageID struct {
 
 // Attach registers the Duet session and returns the tracker. Close the
 // returned session via Detach.
-func Attach(e *sim.Engine, d *core.Duet, ad *core.LFSAdapter, fs *lfs.FS) (*Tracker, error) {
+func Attach(e sim.Host, d *core.Duet, ad *core.LFSAdapter, fs *lfs.FS) (*Tracker, error) {
 	sess, err := d.RegisterBlock(ad, core.StExists|core.EvtFlushed)
 	if err != nil {
 		return nil, fmt.Errorf("gcduet: %w", err)
@@ -124,7 +124,7 @@ func (t *Tracker) Cost(fs *lfs.FS, segIdx int) float64 {
 }
 
 // StartGC launches the lfs cleaner with the opportunistic cost function.
-func StartGC(e *sim.Engine, d *core.Duet, ad *core.LFSAdapter, fs *lfs.FS, cfg lfs.GCConfig) (*lfs.GC, *Tracker, error) {
+func StartGC(e sim.Host, d *core.Duet, ad *core.LFSAdapter, fs *lfs.FS, cfg lfs.GCConfig) (*lfs.GC, *Tracker, error) {
 	tr, err := Attach(e, d, ad, fs)
 	if err != nil {
 		return nil, nil, err

@@ -108,7 +108,7 @@ func (s *Scrubber) Run(p *sim.Proc) error {
 		// scrubbed (the paper's tasks fetch many times per second, §6.4).
 		stop := false
 		defer func() { stop = true }()
-		p.Engine().Go("scrub-harvester", func(hp *sim.Proc) {
+		p.Go("scrub-harvester", func(hp *sim.Proc) {
 			for !stop && !hp.Engine().Stopping() {
 				hp.Sleep(20 * sim.Millisecond)
 				s.harvest()

@@ -122,7 +122,7 @@ func fillDefaults(cfg *Config) {
 // New prepares a generator over a cowfs population (the files created by
 // machine.Populate). The covered subset is a deterministic,
 // seed-dependent sample of Coverage × len(files).
-func New(e *sim.Engine, fs *cowfs.FS, files []*cowfs.Inode, cfg Config) (*Generator, error) {
+func New(e sim.Host, fs *cowfs.FS, files []*cowfs.Inode, cfg Config) (*Generator, error) {
 	if len(files) == 0 {
 		return nil, errors.New("workload: empty population")
 	}
@@ -141,7 +141,7 @@ func New(e *sim.Engine, fs *cowfs.FS, files []*cowfs.Inode, cfg Config) (*Genera
 }
 
 // NewLFS prepares a generator over an lfs population.
-func NewLFS(e *sim.Engine, fs *lfs.FS, files []*lfs.Inode, cfg Config) (*Generator, error) {
+func NewLFS(e sim.Host, fs *lfs.FS, files []*lfs.Inode, cfg Config) (*Generator, error) {
 	if len(files) == 0 {
 		return nil, errors.New("workload: empty population")
 	}
@@ -186,7 +186,7 @@ func (g *Generator) CoveredPages() int64 {
 func (g *Generator) Stop() { g.stopped = true }
 
 // Start launches the generator process.
-func (g *Generator) Start(e *sim.Engine) {
+func (g *Generator) Start(e sim.Host) {
 	e.Go("workload:"+g.cfg.Name, g.run)
 }
 
