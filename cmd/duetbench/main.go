@@ -37,6 +37,7 @@ import (
 	"duet/internal/experiments"
 	"duet/internal/machine"
 	"duet/internal/obs"
+	"duet/internal/sim"
 )
 
 // benchRecord is one experiment's entry in the BENCH json.
@@ -46,13 +47,21 @@ type benchRecord struct {
 	Cells   int64   `json:"cells"`
 }
 
-// benchFile is the machine-readable timing summary.
+// benchFile is the machine-readable timing summary. GoMaxProcs, Cpus,
+// and Parallel are provenance: a -dj N wall-clock number only measures
+// a parallel speedup when N goroutines could actually run on N cores,
+// so Parallel is false (with a stderr warning) whenever dj exceeds
+// GOMAXPROCS or the machine's CPU count — on such a run the dj pair
+// bounds barrier overhead, nothing more.
 type benchFile struct {
 	Scale        string        `json:"scale"`
 	Seeds        int           `json:"seeds"`
 	Workers      int           `json:"workers"`
 	DomainJ      int           `json:"dj"`
 	GoMaxProcs   int           `json:"gomaxprocs"`
+	Cpus         int           `json:"cpus"`
+	WindowMode   string        `json:"window"`
+	Parallel     bool          `json:"parallel_speedup"`
 	Experiments  []benchRecord `json:"experiments"`
 	TotalSeconds float64       `json:"total_seconds"`
 	TotalCells   int64         `json:"total_cells"`
@@ -66,6 +75,7 @@ func main() {
 	seeds := flag.Int("seeds", 0, "override the number of repetitions (0 = scale default)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "grid worker count (output is identical at any value)")
 	domainJ := flag.Int("dj", 1, "intra-simulation worker count for multi-domain cells (output is identical at any value)")
+	windowFlag := flag.String("window", "adaptive", "barrier protocol for multi-domain cells: adaptive or fixed (output is identical under both)")
 	expFlag := flag.String("experiment", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	benchOut := flag.String("bench-out", "", "timing json path (default BENCH_<scale>.json, \"-\" to disable)")
@@ -93,6 +103,12 @@ func main() {
 	}
 	experiments.Workers = *workers
 	experiments.DomainWorkers = *domainJ
+	windowMode, ok := sim.WindowModeByName(*windowFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "duetbench: unknown -window %q (want adaptive or fixed)\n", *windowFlag)
+		os.Exit(2)
+	}
+	experiments.WindowMode = windowMode
 	if !*quiet {
 		experiments.Progress = os.Stderr
 	}
@@ -142,6 +158,14 @@ func main() {
 		Workers:    *workers,
 		DomainJ:    *domainJ,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Cpus:       runtime.NumCPU(),
+		WindowMode: windowMode.String(),
+	}
+	bench.Parallel = *domainJ <= bench.GoMaxProcs && *domainJ <= bench.Cpus
+	if *domainJ > 1 && !bench.Parallel {
+		fmt.Fprintf(os.Stderr,
+			"duetbench: -dj %d exceeds GOMAXPROCS (%d) or CPUs (%d): recording parallel_speedup=false — this run bounds barrier overhead, it is not a parallel speedup\n",
+			*domainJ, bench.GoMaxProcs, bench.Cpus)
 	}
 	totalStart := time.Now()
 	for _, id := range ids {

@@ -27,6 +27,12 @@ import (
 // set it from their -dj flag. It never affects simulation output.
 var DomainWorkers int
 
+// WindowMode is the barrier protocol for multi-domain cells. The zero
+// value is sim.WindowAdaptive; cmd/duetbench sets it from its -window
+// flag. Like DomainWorkers, it never affects simulation output — the
+// determinism CI gate diffs fixed against adaptive runs.
+var WindowMode sim.WindowMode
+
 // shardCount is the number of independent stacks per sharded cell: four
 // devices makes the conservative-window parallelism real (target ≥ 1.5x
 // at -dj 4) while keeping the cell's footprint ≈ 4 ordinary cells.
@@ -98,6 +104,7 @@ func runShardCell(s Scale, seed int64, duet bool) (*shardCellResult, error) {
 		},
 		Shards:      shardCount,
 		PortLatency: sim.Millisecond,
+		WindowMode:  WindowMode,
 	})
 	if err != nil {
 		return nil, err

@@ -82,6 +82,11 @@ type ShardedConfig struct {
 	// the engine's lookahead bound, so smaller values mean finer barrier
 	// windows and less intra-window parallelism. Default 1ms.
 	PortLatency sim.Time
+	// WindowMode selects the engine's barrier protocol. The zero value
+	// is sim.WindowAdaptive; sim.WindowFixed restores the static
+	// minimum-latency lookahead. The mode never changes results — only
+	// how often domains synchronize (see WindowStats).
+	WindowMode sim.WindowMode
 }
 
 // NewSharded assembles a sharded machine. Worker parallelism is chosen
@@ -100,6 +105,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedMachine, error) {
 		return nil, fmt.Errorf("machine: PortLatency must be positive")
 	}
 	e := sim.New(cfg.Seed)
+	e.SetWindowMode(cfg.WindowMode)
 	m := &ShardedMachine{Cfg: cfg, Eng: e}
 	for i := 0; i < cfg.Shards; i++ {
 		model := cfg.Model
@@ -203,6 +209,11 @@ func (m *ShardedMachine) TraceProcesses(prefix string) []obs.TraceProcess {
 	}
 	return procs
 }
+
+// WindowStats exposes the engine's barrier counters — rounds, idle
+// fast-forwards, and granted window lengths. They are deterministic at
+// any worker count, so experiments may print or publish them.
+func (m *ShardedMachine) WindowStats() sim.WindowStats { return m.Eng.WindowStats() }
 
 // EventStats sums page-event dispatch counters across shards.
 func (m *ShardedMachine) EventStats() EventStats {

@@ -90,3 +90,53 @@ func BenchmarkWaitQueue(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkBarrierFlush measures one barrier's worth of port work for a
+// busy port: a 64-message batch moved sender→receiver, its delivery
+// timer fired, and the inbox drained. The CI allocation gate holds this
+// at 0 allocs/op — batches and inboxes recycle through free lists, so
+// barrier frequency costs time, never garbage.
+func BenchmarkBarrierFlush(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	d1 := e.NewDomain("rx")
+	pt := NewPort[int](e, d1, "p", Millisecond)
+	var at Time
+	cycle := func() {
+		at += Millisecond
+		fillPort(pt, 64, at)
+		pt.flush()
+		if n := drainPort(pt, at); n != 64 {
+			b.Fatalf("delivered %d of 64", n)
+		}
+	}
+	cycle() // warm the free lists
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkEOTScan measures the serial horizon computation at the
+// barrier — the reach fixpoint over an 8-domain ring with per-domain
+// timers armed, the part of barrier cost that grows with topology. The
+// CI allocation gate holds it at 0 allocs/op (engine scratch only).
+func BenchmarkEOTScan(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	doms := []*Domain{e.Dom()}
+	for i := 1; i < 8; i++ {
+		doms = append(doms, e.NewDomain(fmt.Sprintf("d%d", i)))
+	}
+	for i := range doms {
+		NewPort[int](doms[i], doms[(i+1)%len(doms)], fmt.Sprintf("ring%d", i), Time(i+1)*Millisecond)
+		d := doms[i]
+		d.seq++
+		d.timers.push(timer{at: Time(i) * 100 * Microsecond, seq: d.seq, p: nil})
+	}
+	e.prepareWindows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.computeWindow()
+	}
+}

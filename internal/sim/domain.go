@@ -17,8 +17,22 @@ type Domain struct {
 	name string
 	eng  *Engine
 
-	now     Time
-	seq     uint64 // tiebreaker for deterministic ordering, domain-local
+	now Time
+	// seq is the local-timer tiebreaker for deterministic ordering:
+	// Sleep timers take increasing values, so equal-time local timers
+	// fire in schedule order. Cross-domain delivery timers carry a
+	// disjoint canonical sequence space instead (bit 63 set — see
+	// port.go), so at equal times local timers sort before deliveries
+	// no matter when a barrier flushed them.
+	seq uint64
+	// deliveries counts cross-domain messages flushed into this domain,
+	// for the TimersScheduled accounting (deliveries no longer consume
+	// seq values).
+	deliveries uint64
+	// horizon is the granted execution bound for the current barrier
+	// round; written serially at barriers, read by runWindow (see
+	// window.go).
+	horizon Time
 	timers  timerHeap
 	runq    procRing
 	yield   chan struct{}
@@ -177,6 +191,6 @@ func (p *Proc) Go(name string, fn func(*Proc)) *Proc { return p.dom.Go(name, fn)
 // domain.
 func (d *Domain) ProcsCreated() int { return len(d.procs) }
 
-// TimersScheduled returns how many timers were ever pushed on this
-// domain (sleeps plus cross-domain delivery events).
-func (d *Domain) TimersScheduled() uint64 { return d.seq }
+// TimersScheduled returns how many timed events were ever scheduled on
+// this domain (sleeps plus cross-domain message deliveries).
+func (d *Domain) TimersScheduled() uint64 { return d.seq + d.deliveries }

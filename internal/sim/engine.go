@@ -45,8 +45,24 @@ type Engine struct {
 	domains []*Domain
 	d0      *Domain // the default domain
 
-	ports  []portFlusher
-	minLat Time // smallest port latency: the conservative lookahead bound
+	ports []portFlusher
+	// portFrom/portTo/portLat mirror ports as flat arrays (domain ids
+	// and latencies) so the barrier's EOT scan walks dense memory
+	// without touching the generic port values.
+	portFrom []int32
+	portTo   []int32
+	portLat  []Time
+	minLat   Time // smallest port latency: the conservative lookahead bound
+
+	// Window-protocol state (see window.go). deadline is the RunFor
+	// cutoff: events strictly after it never execute, which makes the
+	// stop point independent of the window protocol. The scratch slices
+	// are reused every barrier so the EOT scan never allocates.
+	windowMode     WindowMode
+	deadline       Time
+	winStats       WindowStats
+	nextScratch    []Time
+	horizonScratch []Time
 }
 
 // maxTime is the "no event" sentinel for horizon arithmetic.
@@ -79,7 +95,7 @@ type Host interface {
 // built with the same seed and driven by the same code produce identical
 // event sequences.
 func New(seed int64) *Engine {
-	e := &Engine{seed: seed, workers: 1}
+	e := &Engine{seed: seed, workers: 1, deadline: maxTime}
 	e.d0 = &Domain{id: 0, name: "main", eng: e, yield: make(chan struct{})}
 	e.domains = []*Domain{e.d0}
 	return e
@@ -174,7 +190,7 @@ func (e *Engine) Run() error {
 		return errors.New("sim: Run called reentrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	defer func() { e.running = false; e.deadline = maxTime }()
 	if len(e.domains) == 1 {
 		e.runSingle()
 	} else {
@@ -210,65 +226,12 @@ func (e *Engine) runSingle() {
 	}
 }
 
-// runWindows is the conservative time-window barrier loop. Each round:
-//
-//  1. (serial) deliver cross-domain messages produced last round, in
-//     canonical (time, port, send-order) order;
-//  2. (serial) compute the global next event time T and the horizon
-//     H = T + L, where L is the smallest port latency — conservatively,
-//     no message produced at or after T can be delivered before H;
-//  3. (parallel) every domain independently executes all its events
-//     with time < H;
-//  4. (serial) aggregate failures and latch stop requests.
-//
-// Because domains share no state and messages crossing domains are
-// delivered only at barriers in a canonical order, the simulation
-// result is identical at any worker count.
-func (e *Engine) runWindows() {
-	active := make([]*Domain, 0, len(e.domains))
-	for !e.stopping {
-		if e.stopReq.Load() {
-			break
-		}
-		for _, pt := range e.ports {
-			pt.flush()
-		}
-		nextT := maxTime
-		for _, d := range e.domains {
-			if t := d.nextEvent(); t < nextT {
-				nextT = t
-			}
-		}
-		if nextT == maxTime {
-			break // quiescent everywhere, nothing in flight
-		}
-		horizon := maxTime
-		if e.minLat > 0 && e.minLat < maxTime-nextT {
-			horizon = nextT + e.minLat
-		}
-		active = active[:0]
-		for _, d := range e.domains {
-			if d.nextEvent() < horizon {
-				active = append(active, d)
-			}
-		}
-		e.runDomains(active, horizon)
-		for _, d := range e.domains {
-			if d.failure != nil {
-				if e.failure == nil {
-					e.failure = d.failure
-				}
-				e.stopReq.Store(true)
-			}
-		}
-	}
-	e.stopping = true
-}
-
-// runDomains executes each active domain's window, fanning out across
-// the worker budget. Domains are independent within a window, so the
-// assignment of domains to workers cannot affect results.
-func (e *Engine) runDomains(active []*Domain, horizon Time) {
+// runDomains executes each active domain's window (every domain runs
+// its events strictly below its own granted d.horizon — see window.go),
+// fanning out across the worker budget. Domains are independent within
+// a window, so the assignment of domains to workers cannot affect
+// results.
+func (e *Engine) runDomains(active []*Domain) {
 	n := len(active)
 	if n == 0 {
 		return
@@ -279,7 +242,7 @@ func (e *Engine) runDomains(active []*Domain, horizon Time) {
 	}
 	if workers <= 1 {
 		for _, d := range active {
-			d.runWindow(horizon)
+			d.runWindow(d.horizon)
 		}
 		return
 	}
@@ -302,7 +265,7 @@ func (e *Engine) runDomains(active []*Domain, horizon Time) {
 								d.name, r, debug.Stack())
 						}
 					}()
-					d.runWindow(horizon)
+					d.runWindow(d.horizon)
 				}()
 			}
 		}()
@@ -310,9 +273,24 @@ func (e *Engine) runDomains(active []*Domain, horizon Time) {
 	wg.Wait()
 }
 
-// RunFor runs the simulation for at most d of virtual time (plus, in a
-// multi-domain engine, at most one lookahead window).
+// RunFor runs the simulation for at most d of virtual time.
+//
+// A single-domain engine uses the classic stop-timer process: the run
+// halts at the first event at or after the deadline. A multi-domain
+// engine instead enforces the deadline at the barrier: every event at
+// or before the deadline executes and no later event does, so the stop
+// point is a virtual-time fact independent of the window protocol, the
+// window mode, and the worker count. (A stop-timer process cannot give
+// that guarantee there — its Stop latches at a barrier, and how far the
+// *other* domains have advanced by then depends on where the protocol
+// placed their horizons.) All clocks read the deadline afterwards.
 func (e *Engine) RunFor(d Time) error {
+	if len(e.domains) > 1 {
+		if d < maxTime-e.d0.now {
+			e.deadline = e.d0.now + d
+		}
+		return e.Run()
+	}
 	e.Go("sim.stop-timer", func(p *Proc) {
 		p.Sleep(d)
 		e.Stop()

@@ -19,39 +19,76 @@ type portMsg[T any] struct {
 	v  T
 }
 
+// Delivery timers carry a canonical sequence number instead of a
+// receiver-local counter value: bit 63 marks a delivery, the next 23
+// bits are the port's creation index, and the low 40 bits count
+// messages delivered on that port. The encoding is a pure function of
+// (port, message index), so the (time, seq) order of a delivery against
+// every other timer is independent of *when* the barrier flushed it —
+// the property that lets fixed and adaptive windows, which flush at
+// different rounds, produce byte-identical simulations. At equal times,
+// local timers (seq < 2^63) sort before deliveries, and deliveries sort
+// by (port creation order, send order).
+const (
+	deliverySeqBit   = uint64(1) << 63
+	deliveryPortBits = 23
+	deliveryMsgBits  = 63 - deliveryPortBits
+)
+
+func deliverySeq(portIdx int, msg uint64) uint64 {
+	return deliverySeqBit |
+		uint64(portIdx)<<deliveryMsgBits |
+		msg&(uint64(1)<<deliveryMsgBits-1)
+}
+
 // Port is a one-way, timestamped channel between two domains — the only
 // legal way for state to cross a domain boundary. A message sent at
 // virtual time t is receivable at t+latency in the receiver's domain.
 //
 // The latency is not an implementation detail: it is the port's
 // lookahead contribution. The engine's conservative window is bounded by
-// the minimum latency over all ports, which is exactly why latency must
-// be positive and fixed — a zero-latency port would collapse the window
-// to nothing, and a variable one would break the sorted-delivery
-// invariant the barrier merge relies on.
+// the earliest time a sender could emit plus its port's latency, which
+// is exactly why latency must be positive and fixed — a zero-latency
+// port would collapse the window to nothing, and a variable one would
+// break the sorted-delivery invariant the barrier merge relies on.
 //
 // Determinism: sends buffer on the sender's side in program order; the
-// barrier (serial) assigns each message a receiver-local sequence number,
-// walking ports in creation order. Delivery order is therefore a pure
-// function of (virtual send time, port creation order, send order) and
-// cannot depend on the worker count.
+// barrier (serial) hands each buffered batch to the receiver and arms
+// one delivery timer per port at the head delivery time. Timers carry
+// the canonical delivery sequence (see deliverySeq), so delivery order
+// is a pure function of (virtual send time, port creation order, send
+// order) and cannot depend on the worker count or the window protocol.
 type Port[T any] struct {
 	name    string
 	from    *Domain
 	to      *Domain
 	latency Time
+	idx     int // creation index in Engine.ports: the canonical tiebreak
 
 	// out is written only by the sending domain during a window and
 	// drained only by the barrier; the window/barrier alternation is the
 	// synchronization.
 	out []portMsg[T]
 
-	// pending holds flushed-but-not-ripe messages in delivery order.
+	// batches is a FIFO of flushed-but-not-ripe batches in delivery
+	// order; batches[bhead] is the oldest and phead indexes into it.
 	// Conservative windows guarantee every flush appends at times no
-	// earlier than everything already present (send times only grow
-	// across windows, latency is fixed), so ripeness is always a prefix.
-	pending []portMsg[T]
+	// earlier than everything already pending (send times only grow
+	// across a domain's windows, latency is fixed), so ripeness is
+	// always a prefix. Consumed batch arrays recycle through free so
+	// the steady-state barrier path never allocates.
+	batches [][]portMsg[T]
+	bhead   int
 	phead   int
+	free    [][]portMsg[T]
+
+	// delivered counts messages handed to the inbox; the head pending
+	// message's index is delivered, which deliverySeq turns into the
+	// canonical timer sequence. armed says a delivery timer for the
+	// current head is already in the receiver's heap — one per port at
+	// a time, re-armed as the head moves.
+	delivered uint64
+	armed     bool
 
 	inbox      []T
 	ihead      int
@@ -75,15 +112,21 @@ func NewPort[T any](from, to Host, name string, latency Time) *Port[T] {
 		panic("sim: NewPort latency must be positive (it bounds the lookahead window)")
 	case e.running:
 		panic("sim: NewPort during Run")
+	case len(e.ports) >= 1<<deliveryPortBits:
+		panic("sim: too many ports for the canonical delivery sequence encoding")
 	}
 	p := &Port[T]{
 		name: name, from: fd, to: td, latency: latency,
+		idx:        len(e.ports),
 		recvReason: "port-recv " + name,
 	}
 	if e.minLat == 0 || latency < e.minLat {
 		e.minLat = latency
 	}
 	e.ports = append(e.ports, p)
+	e.portFrom = append(e.portFrom, int32(fd.id))
+	e.portTo = append(e.portTo, int32(td.id))
+	e.portLat = append(e.portLat, latency)
 	return p
 }
 
@@ -145,36 +188,67 @@ func (pt *Port[T]) TryRecv() (v T, ok bool) {
 func (pt *Port[T]) Len() int { return len(pt.inbox) - pt.ihead }
 
 // flush runs at the barrier, on the engine goroutine, with every domain
-// parked. Each buffered message becomes a delivery timer in the
-// receiving domain, sequenced by the receiver's own counter so the
-// (time, seq) order is identical at any worker count.
+// parked. The whole sender buffer moves into the pending FIFO as one
+// batch (no per-message work), the sender gets a recycled array back,
+// and a single delivery timer is armed at the head delivery time.
 func (pt *Port[T]) flush() {
 	if len(pt.out) == 0 {
 		return
 	}
-	to := pt.to
-	for _, m := range pt.out {
-		to.seq++
-		to.timers.push(timer{at: m.at, seq: to.seq, port: pt})
-		pt.pending = append(pt.pending, m)
+	pt.to.deliveries += uint64(len(pt.out))
+	pt.batches = append(pt.batches, pt.out)
+	if n := len(pt.free); n > 0 {
+		pt.out = pt.free[n-1]
+		pt.free[n-1] = nil
+		pt.free = pt.free[:n-1]
+	} else {
+		pt.out = nil
 	}
-	pt.out = pt.out[:0]
+	pt.arm()
+}
+
+// arm pushes the head pending message's delivery timer into the
+// receiver's heap, unless one is already in flight. The timer's
+// sequence is canonical (deliverySeq), so arming earlier or later —
+// fixed vs adaptive windows flush at different barriers — cannot change
+// where the delivery sorts.
+func (pt *Port[T]) arm() {
+	if pt.armed {
+		return
+	}
+	head := pt.batches[pt.bhead][pt.phead]
+	pt.to.timers.push(timer{at: head.at, seq: deliverySeq(pt.idx, pt.delivered), port: pt})
+	pt.armed = true
 }
 
 // deliverRipe moves every pending message with at <= now into the inbox
 // and wakes one receiver per message. Ripe messages are always a prefix
-// of pending (see the type comment), so this is a linear scan that stops
-// at the first unripe entry.
+// of the pending FIFO (see the batches comment), so this walks batches
+// in order, recycling each consumed array, and re-arms the timer at the
+// new head when unripe messages remain.
 func (pt *Port[T]) deliverRipe(d *Domain) {
-	for pt.phead < len(pt.pending) && pt.pending[pt.phead].at <= d.now {
-		m := pt.pending[pt.phead]
-		pt.pending[pt.phead] = portMsg[T]{}
-		pt.phead++
-		pt.inbox = append(pt.inbox, m.v)
-		pt.recvQ.WakeOne()
-	}
-	if pt.phead == len(pt.pending) {
-		pt.pending = pt.pending[:0]
+	pt.armed = false
+	for pt.bhead < len(pt.batches) {
+		b := pt.batches[pt.bhead]
+		for pt.phead < len(b) && b[pt.phead].at <= d.now {
+			pt.inbox = append(pt.inbox, b[pt.phead].v)
+			b[pt.phead] = portMsg[T]{}
+			pt.phead++
+			pt.delivered++
+			pt.recvQ.WakeOne()
+		}
+		if pt.phead < len(b) {
+			break // head batch has unripe messages left
+		}
+		pt.batches[pt.bhead] = nil
+		pt.free = append(pt.free, b[:0])
+		pt.bhead++
 		pt.phead = 0
+	}
+	if pt.bhead == len(pt.batches) {
+		pt.batches = pt.batches[:0]
+		pt.bhead = 0
+	} else {
+		pt.arm()
 	}
 }

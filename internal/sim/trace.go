@@ -39,13 +39,13 @@ func (e *Engine) ProcsCreated() int {
 	return n
 }
 
-// TimersScheduled returns how many timers were ever pushed across all
-// domains (every Sleep with a positive duration schedules exactly one;
-// cross-domain deliveries add one each).
+// TimersScheduled returns how many timed events were ever scheduled
+// across all domains (every Sleep with a positive duration schedules
+// exactly one; cross-domain message deliveries add one each).
 func (e *Engine) TimersScheduled() uint64 {
 	var n uint64
 	for _, d := range e.domains {
-		n += d.seq
+		n += d.seq + d.deliveries
 	}
 	return n
 }
