@@ -204,8 +204,9 @@ func buildWith(spec EnvSpec, rate float64, o *obs.Obs) (*env, error) {
 		// CFQ's slice_idle anticipation is ~8 ms on real hardware; scale
 		// it with the device so idle-class starvation behaves the same
 		// at reduced scales.
-		IdleGrace: sim.Time(2.5 * spec.Scale.DeviceSlow * float64(sim.Millisecond)),
-		Obs:       o,
+		IdleGrace:  sim.Time(2.5 * spec.Scale.DeviceSlow * float64(sim.Millisecond)),
+		Obs:        o,
+		LegacyExec: LegacyExec,
 	})
 	if err != nil {
 		return nil, err

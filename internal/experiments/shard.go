@@ -33,6 +33,12 @@ var DomainWorkers int
 // determinism CI gate diffs fixed against adaptive runs.
 var WindowMode sim.WindowMode
 
+// LegacyExec selects the goroutine executors instead of the inline
+// callback hot path for every cell's machine. cmd/duetbench sets it
+// from its -exec flag. It never affects simulation output — the CI
+// speedup gate diffs and times callback against proc runs.
+var LegacyExec bool
+
 // shardCount is the number of independent stacks per sharded cell: four
 // devices makes the conservative-window parallelism real (target ≥ 1.5x
 // at -dj 4) while keeping the cell's footprint ≈ 4 ordinary cells.
@@ -101,6 +107,7 @@ func runShardCell(s Scale, seed int64, duet bool) (*shardCellResult, error) {
 			CachePages:   s.CachePages,
 			IdleGrace:    sim.Time(2.5 * s.DeviceSlow * float64(sim.Millisecond)),
 			Obs:          o,
+			LegacyExec:   LegacyExec,
 		},
 		Shards:      shardCount,
 		PortLatency: sim.Millisecond,

@@ -2,6 +2,15 @@
 // evaluation: a CFQ-like scheduler with an Idle priority class (the
 // default configuration, §6.1.3), a Deadline-like scheduler without
 // prioritization (the §6.5 ablation), and a trivial FIFO.
+//
+// Schedulers are pure queue structure: Dispatch runs inline in the
+// disk's executor, so the dispatch kick (Submit → wake → Dispatch) is
+// goroutine-free under the default callback executor — a submit
+// schedules the disk's callback on the run queue and the next slot
+// dispatches, with no park/resume handshake anywhere on the path. A
+// Dispatch that returns a positive wait (the idle-grace case) becomes
+// the disk's single reusable grace timer rather than a spawned
+// goroutine. See DESIGN.md, "Two execution modes".
 package iosched
 
 import (

@@ -55,6 +55,12 @@ type Config struct {
 	// engine, disks, cache, Duet, and filesystems all record into it.
 	// Nil (the default) keeps every hot path on its probe-free branch.
 	Obs *obs.Obs
+	// LegacyExec restores the goroutine executors (disk service loop as
+	// a proc, flusher timers spawned per interval) instead of the
+	// inline-callback hot path. Simulation output is byte-identical in
+	// both modes; the knob exists for A/B wall-clock measurement
+	// (duetbench -exec proc) and for bisecting executor regressions.
+	LegacyExec bool
 }
 
 // Validate fills defaults and rejects nonsense.
@@ -76,7 +82,17 @@ func (c *Config) cacheConfig() pagecache.Config {
 	if c.WritebackInterval > 0 {
 		cc.WritebackInterval = c.WritebackInterval
 	}
+	cc.SpawnTimerProcs = c.LegacyExec
 	return cc
+}
+
+// newDisk builds a disk honoring the executor-mode knob.
+func (c *Config) newDisk(e sim.Host, name string, model storage.Model) *storage.Disk {
+	d := storage.NewDisk(e, name, model, c.newScheduler())
+	if c.LegacyExec {
+		d.UseProcExecutor()
+	}
+	return d
 }
 
 func (c *Config) Validate() error {
@@ -140,7 +156,7 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 	}
-	disk := storage.NewDisk(e, "sda", model, cfg.newScheduler())
+	disk := cfg.newDisk(e, "sda", model)
 	cache := pagecache.New(e, cfg.cacheConfig())
 	fs := cowfs.New(e, 1, disk, cache)
 	d := core.New(cache)
@@ -160,7 +176,7 @@ func (m *Machine) AddCowFS(name string, blocks int64, kind DeviceKind) (*cowfs.F
 	if err != nil {
 		return nil, nil, err
 	}
-	disk := storage.NewDisk(m.Eng, name, model, m.Cfg.newScheduler())
+	disk := m.Cfg.newDisk(m.Eng, name, model)
 	fs := cowfs.New(m.Eng, m.nextFSID, disk, m.Cache)
 	m.nextFSID++
 	ad := core.AttachCow(m.Duet, fs)
@@ -179,7 +195,7 @@ func (m *Machine) AddLFS(name string, blocks int64, kind DeviceKind, cfg lfs.Con
 	if err != nil {
 		return nil, nil, err
 	}
-	disk := storage.NewDisk(m.Eng, name, model, m.Cfg.newScheduler())
+	disk := m.Cfg.newDisk(m.Eng, name, model)
 	fs := lfs.New(m.Eng, m.nextFSID, disk, m.Cache, cfg)
 	m.nextFSID++
 	ad := core.AttachLFS(m.Duet, fs)
@@ -217,7 +233,7 @@ func NewLFS(cfg Config, fscfg lfs.Config) (*LFSMachine, error) {
 			return nil, err
 		}
 	}
-	disk := storage.NewDisk(e, "sda", model, cfg.newScheduler())
+	disk := cfg.newDisk(e, "sda", model)
 	cache := pagecache.New(e, cfg.cacheConfig())
 	fs := lfs.New(e, 1, disk, cache, fscfg)
 	d := core.New(cache)

@@ -37,6 +37,7 @@ func enableObs(o *obs.Obs, e *sim.Engine, parts ...interface{ EnableObs(*obs.Obs
 // identical at any worker count.
 func publishEngine(r *obs.Registry, e *sim.Engine) {
 	r.SetCounter("sim.procs_created", int64(e.ProcsCreated()))
+	r.SetCounter("sim.callbacks_created", int64(e.CallbacksCreated()))
 	r.SetCounter("sim.timers_scheduled", int64(e.TimersScheduled()))
 	r.SetCounter("sim.now_us", int64(e.Now()/sim.Microsecond))
 	ws := e.WindowStats()

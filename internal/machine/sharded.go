@@ -117,7 +117,7 @@ func NewSharded(cfg ShardedConfig) (*ShardedMachine, error) {
 			}
 		}
 		dom := e.NewDomain(fmt.Sprintf("shard%d", i))
-		disk := storage.NewDisk(dom, fmt.Sprintf("sd%c", 'a'+i%26), model, cfg.newScheduler())
+		disk := cfg.newDisk(dom, fmt.Sprintf("sd%c", 'a'+i%26), model)
 		cache := pagecache.New(dom, cfg.cacheConfig())
 		fs := cowfs.New(dom, 1, disk, cache)
 		d := core.New(cache)

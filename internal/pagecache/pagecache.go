@@ -195,6 +195,11 @@ type Config struct {
 	// DirtyExpire) when dirty pages exceed this fraction of the cache,
 	// like Linux dirty_background_ratio. Default 0.2.
 	DirtyBackgroundRatio float64
+	// SpawnTimerProcs restores the legacy goroutine-per-interval flusher
+	// timer instead of the reusable timer callback. Results are
+	// byte-identical either way; the knob exists for A/B wall-clock
+	// measurement (see machine.Config.LegacyExec).
+	SpawnTimerProcs bool
 }
 
 // DefaultConfig returns Linux-like writeback parameters for a cache of the
@@ -309,6 +314,13 @@ type Cache struct {
 	obs       *cacheObs // nil unless observability is on (see obs.go)
 
 	flusherKick *sim.WaitQueue
+	// flusherTimer is the periodic-wakeup timer. It is a callback, not a
+	// goroutine: each flusher round arms it (possibly overlapping an
+	// earlier arm still in flight after a threshold wake, exactly like
+	// the spawned timer procs it replaces) and it wakes the flusher when
+	// it fires. The flusher itself must stay a goroutine proc — it
+	// blocks in the backends' WritebackPages.
+	flusherTimer *sim.Callback
 }
 
 // New creates a cache and starts its flusher process on e.
@@ -332,6 +344,10 @@ func New(e sim.Host, cfg Config) *Cache {
 		backends: make(map[FSID]Backend),
 	}
 	c.flusherKick = sim.NewWaitQueue(e)
+	c.flusherTimer = sim.NewCallback(e, "pagecache-flusher-timer", func(sim.Time) sim.Time {
+		c.flusherKick.WakeAll()
+		return 0
+	})
 	e.Go("pagecache-flusher", c.flusher)
 	return c
 }
@@ -862,10 +878,20 @@ func (c *Cache) Sync(p *sim.Proc) {
 // interval, or early when the dirty-background threshold is crossed.
 func (c *Cache) flusher(p *sim.Proc) {
 	for {
-		c.eng.Go("pagecache-flusher-timer", func(tp *sim.Proc) {
-			tp.Sleep(c.cfg.WritebackInterval)
-			c.flusherKick.WakeAll()
-		})
+		if c.cfg.SpawnTimerProcs {
+			c.eng.Go("pagecache-flusher-timer", func(tp *sim.Proc) {
+				tp.Sleep(c.cfg.WritebackInterval)
+				c.flusherKick.WakeAll()
+			})
+		} else {
+			// Arm the reusable timer callback through the run queue: the
+			// deferred arm draws its seq in the slot the spawned proc's
+			// Sleep used to, so both forms simulate identically. A
+			// threshold wake can leave an earlier arm in flight; the
+			// callback supports overlapping arms just as overlapping
+			// timer procs did.
+			c.flusherTimer.ArmDeferred(c.cfg.WritebackInterval)
+		}
 		c.flusherKick.Wait(p, "flusher interval")
 		if float64(c.dirty.Len()) > c.cfg.DirtyBackgroundRatio*float64(c.cfg.CapacityPages) {
 			c.flushExpired(p, 0) // over background ratio: flush regardless of age

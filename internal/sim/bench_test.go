@@ -8,11 +8,15 @@ import (
 // The kernel's two hot paths: the context-switch handshake (park/resume)
 // and the timer path (Sleep → heap push → pop → ready). Every simulated
 // I/O pays both, so allocs/op here multiply into every experiment.
+// BenchmarkProcHandoff vs BenchmarkCallbackTimer is the A/B the
+// goroutine-free executor exists for: the same periodic event with and
+// without the park/resume channel handshake.
 
-// BenchmarkSleepTimer measures the full timer round trip: one process
-// repeatedly sleeping a positive duration, so each iteration pays a heap
-// push, a quiescent pop, and the park/resume handshake.
-func BenchmarkSleepTimer(b *testing.B) {
+// BenchmarkProcHandoff measures the goroutine-proc timer round trip:
+// one process repeatedly sleeping a positive duration, so each
+// iteration pays a heap push, a quiescent pop, and the park/resume
+// handshake (two channel operations and a goroutine switch).
+func BenchmarkProcHandoff(b *testing.B) {
 	b.ReportAllocs()
 	e := New(1)
 	e.Go("sleeper", func(p *Proc) {
@@ -20,6 +24,29 @@ func BenchmarkSleepTimer(b *testing.B) {
 			p.Sleep(Microsecond)
 		}
 	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCallbackTimer measures the same periodic event on the
+// inline executor: a self-re-arming callback pays the heap push and
+// pop but runs on the scheduler's own goroutine — no channels, no
+// goroutine switch, no allocation. The gap to BenchmarkProcHandoff is
+// the per-event saving of every converted component.
+func BenchmarkCallbackTimer(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	n := 0
+	cb := NewCallback(e, "ticker", func(now Time) Time {
+		n++
+		if n >= b.N {
+			return 0
+		}
+		return Microsecond
+	})
+	cb.Arm(Microsecond)
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)

@@ -40,8 +40,14 @@ type Domain struct {
 	procs   []*Proc // all procs ever created on this domain, in creation order
 	liveN   int
 	nextPID int
-	failure error
-	tracer  Tracer // nil unless observability is on (see trace.go)
+	// cbs lists every callback registered on this domain, in creation
+	// order. Callback ids come from nextCBID, a counter disjoint from
+	// nextPID: creating a callback never shifts the pid-derived random
+	// streams of goroutine procs.
+	cbs      []*Callback
+	nextCBID int
+	failure  error
+	tracer   Tracer // nil unless observability is on (see trace.go)
 }
 
 // ID returns the domain's index in Engine.Domains (the default domain
@@ -127,7 +133,7 @@ func (d *Domain) ready(p *Proc) {
 	if p.done {
 		return
 	}
-	d.runq.push(p)
+	d.runq.push(runnable{p: p})
 }
 
 func (d *Domain) resume(p *Proc) {
@@ -161,7 +167,7 @@ func (d *Domain) nextEvent() Time {
 // could still arrive there.
 func (d *Domain) runWindow(horizon Time) {
 	for d.failure == nil {
-		p, ok := d.runq.pop()
+		r, ok := d.runq.pop()
 		if !ok {
 			tm, ok := d.timers.peek()
 			if !ok || tm.at >= horizon {
@@ -171,14 +177,18 @@ func (d *Domain) runWindow(horizon Time) {
 			if tm.at > d.now {
 				d.now = tm.at
 			}
-			if tm.port != nil {
-				tm.port.deliverRipe(d)
+			if tm.fire != nil {
+				tm.fire.fire(d, tm.armAt)
 				continue
 			}
 			d.ready(tm.p)
 			continue
 		}
-		d.resume(p)
+		if r.cb != nil {
+			d.invoke(r.cb)
+			continue
+		}
+		d.resume(r.p)
 	}
 }
 
@@ -190,6 +200,10 @@ func (p *Proc) Go(name string, fn func(*Proc)) *Proc { return p.dom.Go(name, fn)
 // ProcsCreated returns how many processes were ever created on this
 // domain.
 func (d *Domain) ProcsCreated() int { return len(d.procs) }
+
+// CallbacksCreated returns how many callbacks were ever registered on
+// this domain.
+func (d *Domain) CallbacksCreated() int { return len(d.cbs) }
 
 // TimersScheduled returns how many timed events were ever scheduled on
 // this domain (sleeps plus cross-domain message deliveries).

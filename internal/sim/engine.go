@@ -206,7 +206,7 @@ func (e *Engine) Run() error {
 func (e *Engine) runSingle() {
 	d := e.d0
 	for !e.stopping {
-		p, ok := d.runq.pop()
+		r, ok := d.runq.pop()
 		if !ok {
 			tm, ok := d.timers.pop()
 			if !ok {
@@ -215,14 +215,18 @@ func (e *Engine) runSingle() {
 			if tm.at > d.now {
 				d.now = tm.at
 			}
-			if tm.port != nil {
-				tm.port.deliverRipe(d)
+			if tm.fire != nil {
+				tm.fire.fire(d, tm.armAt)
 				continue
 			}
 			d.ready(tm.p)
 			continue
 		}
-		d.resume(p)
+		if r.cb != nil {
+			d.invoke(r.cb)
+			continue
+		}
+		d.resume(r.p)
 	}
 }
 
@@ -291,10 +295,23 @@ func (e *Engine) RunFor(d Time) error {
 		}
 		return e.Run()
 	}
-	e.Go("sim.stop-timer", func(p *Proc) {
-		p.Sleep(d)
+	if d <= 0 {
+		// A non-positive budget means "stop after the initial yield round";
+		// only the goroutine form can express Sleep(0)'s double runq pass.
+		e.Go("sim.stop-timer", func(p *Proc) {
+			p.Sleep(d)
+			e.Stop()
+		})
+		return e.Run()
+	}
+	// The stop timer needs no call stack, so it runs as a callback. The
+	// deferred arm draws its seq exactly where the spawned proc's Sleep
+	// used to, keeping existing simulations byte-identical.
+	cb := NewCallback(e, "sim.stop-timer", func(Time) Time {
 		e.Stop()
+		return 0
 	})
+	cb.ArmDeferred(d)
 	return e.Run()
 }
 
@@ -349,6 +366,15 @@ func (e *Engine) DumpWaiters() string {
 				fmt.Fprintf(&b, "proc %q: sleep until %s\n", p.name, p.sleepUntil)
 			case p.waitReason != "":
 				fmt.Fprintf(&b, "proc %q: %s\n", p.name, p.waitReason)
+			}
+		}
+		for _, cb := range d.cbs {
+			switch {
+			case cb.stopped:
+			case cb.waitReason != "":
+				fmt.Fprintf(&b, "callback %q: %s\n", cb.name, cb.waitReason)
+			case cb.armed > 0:
+				fmt.Fprintf(&b, "callback %q: armed ×%d\n", cb.name, cb.armed)
 			}
 		}
 	}
@@ -464,14 +490,24 @@ func (p *Proc) Sleep(t Time) {
 // Yield gives other runnable processes a turn without advancing time.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// inlineEvent is a timer payload the scheduler runs inline on its own
+// goroutine when the timer pops, with no process wake: cross-domain
+// port deliveries (deliverRipe) and callback timers (Callback.fire).
+// armAt is the virtual time the timer was armed; callbacks span their
+// trace slice over [armAt, now], ports ignore it.
+type inlineEvent interface {
+	fire(d *Domain, armAt Time)
+}
+
 type timer struct {
 	at  Time
 	seq uint64
 	p   *Proc
-	// port, when non-nil, marks a cross-domain delivery event instead of
-	// a process wake: firing it moves ripe messages into the port's
-	// inbox (see port.go).
-	port portDeliverer
+	// fire, when non-nil, marks an inline event instead of a process
+	// wake: a cross-domain delivery (port.go) or a callback timer
+	// (callback.go).
+	fire  inlineEvent
+	armAt Time
 }
 
 func (t timer) before(u timer) bool {
@@ -548,34 +584,43 @@ func (h *timerHeap) pop() (timer, bool) {
 	return top, true
 }
 
+// runnable is one run-queue (or wait-queue) entry: a goroutine proc to
+// resume or a callback to invoke. Exactly one field is set. Queues hold
+// both kinds in one FIFO so procs and callbacks interleave in the same
+// deterministic order regardless of execution mode.
+type runnable struct {
+	p  *Proc
+	cb *Callback
+}
+
 // procRing is a FIFO run queue backed by a power-of-two ring buffer, so
 // the scheduler's pop-front is O(1) without the slice-shift reallocation
 // churn of runq = runq[1:] + append.
 type procRing struct {
-	buf  []*Proc
+	buf  []runnable
 	head int
 	n    int
 }
 
 func (r *procRing) len() int { return r.n }
 
-func (r *procRing) push(p *Proc) {
+func (r *procRing) push(v runnable) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
 	r.n++
 }
 
-func (r *procRing) pop() (*Proc, bool) {
+func (r *procRing) pop() (runnable, bool) {
 	if r.n == 0 {
-		return nil, false
+		return runnable{}, false
 	}
-	p := r.buf[r.head]
-	r.buf[r.head] = nil
+	v := r.buf[r.head]
+	r.buf[r.head] = runnable{}
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
-	return p, true
+	return v, true
 }
 
 func (r *procRing) grow() {
@@ -583,7 +628,7 @@ func (r *procRing) grow() {
 	if size == 0 {
 		size = 16
 	}
-	buf := make([]*Proc, size)
+	buf := make([]runnable, size)
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}

@@ -466,7 +466,7 @@ func TestTimerHeapOrdering(t *testing.T) {
 
 func TestProcRingFIFO(t *testing.T) {
 	var r procRing
-	mk := func(i int) *Proc { return &Proc{pid: i} }
+	mk := func(i int) runnable { return runnable{p: &Proc{pid: i}} }
 	// Wrap the ring several times with mixed push/pop.
 	next, expect := 0, 0
 	rng := New(7).DeriveRand("ring-test")
@@ -475,8 +475,8 @@ func TestProcRingFIFO(t *testing.T) {
 			r.push(mk(next))
 			next++
 		} else if p, ok := r.pop(); ok {
-			if p.pid != expect {
-				t.Fatalf("pop %d, want %d", p.pid, expect)
+			if p.p.pid != expect {
+				t.Fatalf("pop %d, want %d", p.p.pid, expect)
 			}
 			expect++
 		}
@@ -486,8 +486,8 @@ func TestProcRingFIFO(t *testing.T) {
 		if !ok {
 			break
 		}
-		if p.pid != expect {
-			t.Fatalf("drain pop %d, want %d", p.pid, expect)
+		if p.p.pid != expect {
+			t.Fatalf("drain pop %d, want %d", p.p.pid, expect)
 		}
 		expect++
 	}

@@ -8,11 +8,10 @@ type portFlusher interface {
 	flush()
 }
 
-// portDeliverer is the receiver-domain view: a popped delivery timer
-// moves ripe messages into the inbox and wakes receivers.
-type portDeliverer interface {
-	deliverRipe(d *Domain)
-}
+// Ports implement inlineEvent (engine.go): a popped delivery timer
+// moves ripe messages into the inbox and wakes receivers, inline on the
+// receiving domain's scheduler goroutine.
+func (pt *Port[T]) fire(d *Domain, _ Time) { pt.deliverRipe(d) }
 
 type portMsg[T any] struct {
 	at Time
@@ -217,7 +216,7 @@ func (pt *Port[T]) arm() {
 		return
 	}
 	head := pt.batches[pt.bhead][pt.phead]
-	pt.to.timers.push(timer{at: head.at, seq: deliverySeq(pt.idx, pt.delivered), port: pt})
+	pt.to.timers.push(timer{at: head.at, seq: deliverySeq(pt.idx, pt.delivered), fire: pt})
 	pt.armed = true
 }
 

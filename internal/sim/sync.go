@@ -24,20 +24,44 @@ func NewWaitQueue(h Host) *WaitQueue { return &WaitQueue{} }
 // surfaced by Engine.DumpWaiters for debugging stalled simulations; pass
 // a static (preformatted) string — it is recorded on every park.
 func (q *WaitQueue) Wait(p *Proc, reason string) {
-	q.waiters.push(p)
+	q.waiters.push(runnable{p: p})
 	p.park(reason)
+}
+
+// Subscribe enqueues a callback as a waiter: the next WakeOne that
+// reaches it schedules the callback's handler through the run queue —
+// the same FIFO slot a parked proc would resume in, so mixing callback
+// and goroutine waiters on one queue stays deterministic. A callback
+// waits at most once per Subscribe (one-shot, like one Wait); the
+// handler re-subscribes if it wants to keep listening. The reason
+// string follows the Wait contract (static, surfaced by DumpWaiters,
+// and the name of the blocked-interval trace slice emitted on wake).
+func (q *WaitQueue) Subscribe(cb *Callback, reason string) {
+	if cb.queued {
+		panic("sim: WaitQueue.Subscribe on a queued callback")
+	}
+	cb.waitReason = reason
+	cb.waitStart = cb.dom.now
+	q.waiters.push(runnable{cb: cb})
 }
 
 // WakeOne makes the longest-waiting process runnable. It reports whether a
 // process was woken.
 func (q *WaitQueue) WakeOne() bool {
 	for {
-		p, ok := q.waiters.pop()
+		r, ok := q.waiters.pop()
 		if !ok {
 			return false
 		}
-		if !p.done {
-			p.dom.ready(p)
+		if r.cb != nil {
+			if r.cb.stopped {
+				continue
+			}
+			r.cb.schedule()
+			return true
+		}
+		if !r.p.done {
+			r.p.dom.ready(r.p)
 			return true
 		}
 	}
@@ -60,6 +84,10 @@ type Future[T any] struct {
 	val  T
 	err  error
 	q    WaitQueue
+	// subs holds OnDone completion callbacks; Complete schedules them
+	// after waking blocked processes and recycles the backing array, so
+	// a pooled future pays no allocation per round trip.
+	subs []*Callback
 }
 
 // NewFuture returns an incomplete future bound to h's domain.
@@ -67,7 +95,10 @@ func NewFuture[T any](h Host) *Future[T] {
 	return &Future[T]{}
 }
 
-// Complete resolves the future and wakes all waiters.
+// Complete resolves the future, wakes all waiters, then schedules every
+// OnDone callback (in registration order, after the waiters' run-queue
+// slots — the order a re-woken proc and a callback would interleave in
+// anyway).
 func (f *Future[T]) Complete(v T, err error) {
 	if f.done {
 		panic("sim: Future completed twice")
@@ -76,10 +107,39 @@ func (f *Future[T]) Complete(v T, err error) {
 	f.val = v
 	f.err = err
 	f.q.WakeAll()
+	if len(f.subs) > 0 {
+		for i, cb := range f.subs {
+			cb.schedule()
+			f.subs[i] = nil
+		}
+		f.subs = f.subs[:0]
+	}
+}
+
+// OnDone registers a completion callback: when the future completes,
+// cb's handler is scheduled through the run queue with no parked waiter
+// goroutine. On an already-completed future the handler is scheduled
+// immediately. The registration is one-shot; the handler reads the
+// result via Value.
+func (f *Future[T]) OnDone(cb *Callback) {
+	if f.done {
+		cb.schedule()
+		return
+	}
+	f.subs = append(f.subs, cb)
 }
 
 // Done reports whether the future has been completed.
 func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the completed future's value and error; it panics on an
+// incomplete future (use Wait to block, or OnDone to be notified).
+func (f *Future[T]) Value() (T, error) {
+	if !f.done {
+		panic("sim: Future.Value before completion")
+	}
+	return f.val, f.err
+}
 
 // Reset returns a completed future to the incomplete state so the holder
 // can reuse it for another round trip instead of allocating a new one.
@@ -93,6 +153,7 @@ func (f *Future[T]) Reset() {
 	f.done = false
 	f.val = zero
 	f.err = nil
+	f.subs = f.subs[:0]
 }
 
 // Wait blocks until the future completes and returns its value and error.

@@ -39,6 +39,16 @@ func (e *Engine) ProcsCreated() int {
 	return n
 }
 
+// CallbacksCreated returns how many callbacks were ever registered
+// across all domains — the goroutine-free counterpart of ProcsCreated.
+func (e *Engine) CallbacksCreated() int {
+	n := 0
+	for _, d := range e.domains {
+		n += len(d.cbs)
+	}
+	return n
+}
+
 // TimersScheduled returns how many timed events were ever scheduled
 // across all domains (every Sleep with a positive duration schedules
 // exactly one; cross-domain message deliveries add one each).

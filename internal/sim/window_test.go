@@ -79,12 +79,35 @@ func randTopologyRun(t *testing.T, metaSeed int64, mode WindowMode, workers int)
 			}
 		})
 		lg := logs[ed.to]
-		doms[ed.to].Go(fmt.Sprintf("rx%d", k), func(p *Proc) {
-			for n := 0; n < ed.tokens; n++ {
-				v := ed.pt.Recv(p)
-				fmt.Fprintf(lg, "recv %d@%s\n", v, p.Now())
-			}
-		})
+		if meta.Intn(2) == 0 {
+			doms[ed.to].Go(fmt.Sprintf("rx%d", k), func(p *Proc) {
+				for n := 0; n < ed.tokens; n++ {
+					v := ed.pt.Recv(p)
+					fmt.Fprintf(lg, "recv %d@%s\n", v, p.Now())
+				}
+			})
+		} else {
+			// Callback receiver: no goroutine — subscribed to the port's
+			// inbox wakeups, it drains every ripe message inline and
+			// re-subscribes until the edge's tokens have all arrived.
+			got := 0
+			var rcb *Callback
+			rcb = NewCallback(doms[ed.to], fmt.Sprintf("rx%d", k), func(now Time) Time {
+				for {
+					v, ok := ed.pt.TryRecv()
+					if !ok {
+						break
+					}
+					fmt.Fprintf(lg, "recv %d@%s\n", v, now)
+					got++
+				}
+				if got < ed.tokens {
+					ed.pt.recvQ.Subscribe(rcb, "rx-cb")
+				}
+				return 0
+			})
+			ed.pt.recvQ.Subscribe(rcb, "rx-cb")
+		}
 	}
 	// Local load on every domain: bounded, quiesces on its own. Its log
 	// lines interleave with receipts in execution order, so a protocol
@@ -98,6 +121,25 @@ func randTopologyRun(t *testing.T, metaSeed int64, mode WindowMode, workers int)
 				fmt.Fprintf(lg, "load %d@%s\n", n, p.Now())
 			}
 		})
+	}
+	// Callback load: a goroutine-free re-arming ticker per domain on the
+	// same 10us collision grid, so callback timers collide with proc
+	// timers and port deliveries under both protocols. Its log lines must
+	// interleave identically at any worker count and window mode.
+	for i, d := range doms {
+		lg := logs[i]
+		period := Time(1+meta.Intn(150)) * 10 * Microsecond
+		ticks := 20 + meta.Intn(30)
+		n := 0
+		cb := NewCallback(d, fmt.Sprintf("tick%d", i), func(now Time) Time {
+			fmt.Fprintf(lg, "tick %d@%s\n", n, now)
+			n++
+			if n >= ticks {
+				return 0
+			}
+			return period
+		})
+		cb.Arm(period)
 	}
 
 	if err := e.Run(); err != nil {
@@ -252,7 +294,7 @@ func drainPort(pt *Port[int], at Time) int {
 		if tm.at > d.now {
 			d.now = tm.at
 		}
-		tm.port.deliverRipe(d)
+		tm.fire.fire(d, tm.armAt)
 	}
 	_ = at
 	n := 0

@@ -100,11 +100,18 @@ func DefaultRetryPolicy() RetryPolicy {
 
 // SetFaultInjector attaches an injector and arms the retry policy (the
 // default if none was set). Passing nil detaches and restores the exact
-// pre-attach service path.
+// pre-attach service path. Attaching switches the disk to the goroutine
+// executor — the fault path's retry/backoff loop blocks mid-request,
+// which a callback cannot do — so it must happen before the first
+// request is dispatched (machine assembly does). Detaching mid-run is
+// fine: the goroutine executor handles a nil injector per request.
 func (d *Disk) SetFaultInjector(in FaultInjector) {
 	d.injector = in
-	if in != nil && d.retry == (RetryPolicy{}) {
-		d.retry = DefaultRetryPolicy()
+	if in != nil {
+		if d.retry == (RetryPolicy{}) {
+			d.retry = DefaultRetryPolicy()
+		}
+		d.UseProcExecutor()
 	}
 }
 

@@ -151,7 +151,18 @@ type Disk struct {
 	kick       *sim.WaitQueue
 	badBlocks  map[int64]bool
 	inFlight   *Request
+	inFlightST sim.Time // service time of inFlight (callback executor)
 	reqFree    *Request // recycled requests for the blocking Read/Write wrappers
+
+	// Executor state. The default executor is a sim.Callback: every
+	// service step runs inline on the scheduler with no goroutine
+	// handoff. UseProcExecutor switches to the classic goroutine loop
+	// (required for the blocking retry/backoff stacks of the fault
+	// path, and available for A/B measurement). graceCB is the single
+	// reusable grace-wait timer shared by both executors.
+	cb       *sim.Callback
+	graceCB  *sim.Callback
+	execProc bool
 
 	// Fault injection (nil/zero on the fault-free path; see faults.go).
 	injector FaultInjector
@@ -161,7 +172,18 @@ type Disk struct {
 	obs *diskObs
 }
 
-// NewDisk creates a disk and starts its executor process on e.
+// Wait reasons are package constants so both executors park under the
+// same (static) strings — DumpWaiters output and trace slices must not
+// depend on the execution mode.
+const (
+	reasonDiskIdle  = "disk idle"
+	reasonDiskGrace = "disk grace wait"
+)
+
+// NewDisk creates a disk and registers its executor on e. The executor
+// is a callback (goroutine-free); attaching a fault injector — or
+// calling UseProcExecutor before Run — switches to the classic
+// goroutine process, which supports the blocking fault path.
 func NewDisk(e sim.Host, name string, model Model, sched Scheduler) *Disk {
 	d := &Disk{
 		Name:  name,
@@ -170,8 +192,31 @@ func NewDisk(e sim.Host, name string, model Model, sched Scheduler) *Disk {
 		sched: sched,
 		kick:  sim.NewWaitQueue(e),
 	}
-	e.Go("disk:"+name, d.run)
+	d.cb = sim.NewCallback(e, "disk:"+name, d.step)
+	d.graceCB = sim.NewCallback(e, "disk-timer:"+name, func(sim.Time) sim.Time {
+		d.kick.WakeAll()
+		return 0
+	})
+	d.kick.Subscribe(d.cb, reasonDiskIdle)
 	return d
+}
+
+// UseProcExecutor switches the disk to the classic goroutine executor.
+// Simulation results are byte-identical in either mode (the callback
+// occupies exactly the (time, seq) slots the goroutine sleeps on); the
+// goroutine form exists for the fault path's blocking retry stack and
+// for A/B measurement of the handoff cost. Must be called before the
+// disk has a request in flight — normally at machine assembly.
+func (d *Disk) UseProcExecutor() {
+	if d.execProc {
+		return
+	}
+	if d.inFlight != nil {
+		panic("storage: UseProcExecutor with a request in flight on " + d.Name)
+	}
+	d.execProc = true
+	d.cb.Cancel()
+	d.eng.Go("disk:"+d.Name, d.run)
 }
 
 // Model returns the device model.
@@ -298,8 +343,42 @@ func (d *Disk) Write(p *sim.Proc, block int64, count int, class Class, owner str
 	return err
 }
 
-// run is the executor process: it pulls requests from the scheduler and
-// services them one at a time.
+// step is the callback executor: one invocation completes the in-flight
+// request (when the callback fired as its completion timer), dispatches
+// the next one, and re-arms by returning its service time. It runs
+// inline on the domain scheduler — no goroutine exists for the disk at
+// all — yet consumes exactly the (time, seq) slots run/service sleep
+// on, so both executors produce byte-identical simulations.
+func (d *Disk) step(now sim.Time) sim.Time {
+	if r := d.inFlight; r != nil {
+		d.inFlight = nil
+		d.finish(r, d.inFlightST, now)
+	}
+	r, wait := d.sched.Dispatch(now, d.lastNormal)
+	if r == nil {
+		if wait > 0 {
+			// An idle-class request is waiting out the grace period. Arm
+			// the grace timer through the run queue (the slot the spawned
+			// timer proc used to occupy) and listen for new arrivals; the
+			// earlier of the two re-invokes the step.
+			d.graceCB.ArmDeferred(wait)
+			d.kick.Subscribe(d.cb, reasonDiskGrace)
+		} else {
+			d.kick.Subscribe(d.cb, reasonDiskIdle)
+		}
+		return 0
+	}
+	if d.obs != nil {
+		d.observeDispatch()
+	}
+	st := d.model.ServiceTime(r, d.headPos)
+	d.inFlight = r
+	d.inFlightST = st
+	return st
+}
+
+// run is the goroutine executor process: it pulls requests from the
+// scheduler and services them one at a time.
 func (d *Disk) run(p *sim.Proc) {
 	for {
 		r, wait := d.sched.Dispatch(p.Now(), d.lastNormal)
@@ -310,7 +389,7 @@ func (d *Disk) run(p *sim.Proc) {
 				// handles either way.
 				d.sleepOrKick(p, wait)
 			} else {
-				d.kick.Wait(p, "disk idle")
+				d.kick.Wait(p, reasonDiskIdle)
 			}
 			continue
 		}
@@ -323,12 +402,11 @@ func (d *Disk) run(p *sim.Proc) {
 
 // sleepOrKick waits until either wait elapses or a new request arrives;
 // any wake triggers a re-dispatch in run, so spurious wakeups are fine.
+// The grace timer is the disk's single reusable callback — the old
+// goroutine-per-wait spawn paid a stack and two handshakes per batch.
 func (d *Disk) sleepOrKick(p *sim.Proc, wait sim.Time) {
-	d.eng.Go("disk-timer:"+d.Name, func(tp *sim.Proc) {
-		tp.Sleep(wait)
-		d.kick.WakeAll()
-	})
-	d.kick.Wait(p, "disk grace wait")
+	d.graceCB.ArmDeferred(wait)
+	d.kick.Wait(p, reasonDiskGrace)
 }
 
 func (d *Disk) service(p *sim.Proc, r *Request) {
@@ -340,8 +418,13 @@ func (d *Disk) service(p *sim.Proc, r *Request) {
 	d.inFlight = r
 	p.Sleep(st)
 	d.inFlight = nil
-	now := p.Now()
+	d.finish(r, st, p.Now())
+}
 
+// finish applies the completion accounting for a serviced request and
+// resolves its future. Shared by both executors; now is the completion
+// time and st the service time the device was occupied for.
+func (d *Disk) finish(r *Request, st sim.Time, now sim.Time) {
 	d.headPos = r.Block + int64(r.Count)
 	d.stats.BusyTime += st
 	d.stats.Requests++
