@@ -1,0 +1,126 @@
+package faults
+
+import "duet/internal/sim"
+
+// Cluster-level fault schedules: whole-machine kills, network
+// partitions, and replication-log damage. These are harness-driven
+// (the cluster tier acts on them at the scheduled instants), unlike
+// the per-request device plan, which the disks evaluate themselves.
+
+// KillEvent powers one node off at At and back on at RecoverAt. The
+// node loses all volatile state at At (page cache, uncommitted
+// replication-log tail) and rejoins from its durable state at
+// RecoverAt. RecoverAt must be > At; events for one node must not
+// overlap.
+type KillEvent struct {
+	Node      int
+	At        sim.Time
+	RecoverAt sim.Time
+}
+
+// Partition drops all messages between nodes A and B (both directions)
+// during [From, To). Heartbeats to the coordinator are unaffected, so a
+// partitioned pair stays "alive" while unable to replicate — the
+// asymmetric failure that distinguishes partition handling from kill
+// handling.
+type Partition struct {
+	A, B     int
+	From, To sim.Time
+}
+
+// ClusterPlan declares the fault schedule for one cluster run.
+type ClusterPlan struct {
+	// Seed drives the log-damage decisions and derives per-node device
+	// plan seeds.
+	Seed uint64
+
+	Kills      []KillEvent
+	Partitions []Partition
+
+	// TornLogRate is the probability, per crash, that the committed
+	// replication-log tail loses bytes mid-record (a torn sector at the
+	// power cut). CorruptLogRate is the probability of a flipped byte
+	// inside the committed prefix. Both are detected by the log's record
+	// checksums at replay and widen the re-sync, never diverge silently.
+	TornLogRate    float64
+	CorruptLogRate float64
+
+	// Disk, when non-zero, is the per-request device fault plan applied
+	// to every node's disk, each with a seed derived from Seed and the
+	// node index (independent decision streams).
+	Disk Plan
+}
+
+// NodeDiskPlan returns the device plan for one node, with a derived
+// seed so every node draws an independent deterministic stream. Zero
+// when the cluster plan carries no device faults.
+func (p *ClusterPlan) NodeDiskPlan(node int) Plan {
+	d := p.Disk
+	if d.Zero() {
+		return Plan{}
+	}
+	d.Seed = splitmix64(p.Seed ^ (uint64(node+1) * 0x9e3779b97f4a7c15))
+	return d
+}
+
+// KillsFor returns the kill events for one node in schedule order.
+func (p *ClusterPlan) KillsFor(node int) []KillEvent {
+	var out []KillEvent
+	for _, k := range p.Kills {
+		if k.Node == node {
+			out = append(out, k)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Partitioned reports whether messages between a and b are being
+// dropped at now.
+func (p *ClusterPlan) Partitioned(a, b int, now sim.Time) bool {
+	for _, pt := range p.Partitions {
+		if ((pt.A == a && pt.B == b) || (pt.A == b && pt.B == a)) &&
+			now >= pt.From && now < pt.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Zero reports whether the plan schedules nothing.
+func (p *ClusterPlan) Zero() bool {
+	return p == nil || (len(p.Kills) == 0 && len(p.Partitions) == 0 &&
+		p.TornLogRate == 0 && p.CorruptLogRate == 0 && p.Disk.Zero())
+}
+
+// Stream is a deterministic uniform stream — the injector's splitmix64
+// generator, exported for cluster components (log-damage decisions,
+// workload choices) that need reproducible randomness decoupled from
+// any domain's DeriveRand streams.
+type Stream struct {
+	seed uint64
+	seq  uint64
+}
+
+// NewStream returns a stream for the seed. Equal seeds give equal
+// streams.
+func NewStream(seed uint64) *Stream { return &Stream{seed: seed} }
+
+// Roll draws the next uniform in [0,1).
+func (s *Stream) Roll() float64 {
+	s.seq++
+	return float64(splitmix64(s.seed^(s.seq*0x2545f4914f6cdd1d))>>11) / (1 << 53)
+}
+
+// RollN draws a deterministic integer in [0,n); 0 when n <= 1.
+func (s *Stream) RollN(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	s.seq++
+	return int(splitmix64(s.seed^(s.seq*0x2545f4914f6cdd1d)) % uint64(n))
+}

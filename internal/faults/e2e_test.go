@@ -1,0 +1,164 @@
+package faults_test
+
+import (
+	"testing"
+
+	"duet/internal/faults"
+	"duet/internal/machine"
+	"duet/internal/sim"
+)
+
+// End-to-end quarantine lifecycle coverage: the unit tests in
+// faults_test.go prove the injector's decision stream; this file proves
+// the machine-level consequences — quarantined pages accounted exactly,
+// and none of that state leaking across crash recovery.
+
+// quarantineInvariant checks the exact-accounting identity that holds
+// under a permanent-write-fault-only plan (no truncates, no transient
+// classifications): every page that ever entered quarantine either was
+// requeued, is still quarantined, or was force-dropped under memory
+// pressure and counted as lost.
+func quarantineInvariant(t *testing.T, phase string, m *machine.Machine) {
+	t.Helper()
+	s := m.Cache.Stats()
+	got := s.RequeuedPages + int64(m.Cache.QuarantinedLen()) + s.LostPages
+	if s.QuarantineEvents != got {
+		t.Fatalf("%s: quarantine accounting inexact: events=%d != requeued=%d + held=%d + lost=%d",
+			phase, s.QuarantineEvents, s.RequeuedPages, m.Cache.QuarantinedLen(), s.LostPages)
+	}
+}
+
+// churn writes across the populated tree until the deadline, ignoring
+// errors (the device is faulty by design).
+func churn(t *testing.T, m *machine.Machine, d sim.Time) {
+	t.Helper()
+	root, err := m.FS.Lookup("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := m.FS.FilesUnder(root.Ino)
+	if len(files) == 0 {
+		t.Fatal("no files")
+	}
+	m.Eng.Go("churn", func(p *sim.Proc) {
+		for i := 0; p.Now() < d && !p.Engine().Stopping(); i++ {
+			f := files[i%len(files)]
+			if f.SizePg > 0 {
+				_ = m.FS.Write(p, f.Ino, int64(i)%f.SizePg, 1)
+			}
+			p.Sleep(sim.Millisecond / 2)
+		}
+	})
+}
+
+// TestQuarantineAcrossCrashes drives quarantine through its full
+// lifecycle — build-up, crash, rebuild, requeue, second crash — and
+// requires that (a) no quarantine state leaks across machine.Recover,
+// (b) LostPages accounting stays exact in every phase, and (c) the
+// per-phase Robustness counters aggregate exactly.
+func TestQuarantineAcrossCrashes(t *testing.T) {
+	m, err := machine.New(machine.Config{
+		Seed:              11,
+		DeviceBlocks:      1 << 12,
+		CachePages:        64, // small: quarantine build-up must hit reclaim pressure
+		WritebackInterval: 20 * sim.Millisecond,
+		DirtyExpire:       5 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Populate(machine.DefaultPopulateSpec("/data", 256)); err != nil {
+		t.Fatal(err)
+	}
+	m.EnableDurability()
+
+	var agg machine.Robustness
+	var phases []machine.Robustness
+	plan := faults.Plan{Seed: 3, PermanentWriteRate: 0.3}
+
+	// Phase 1: permanent write faults until the crash. Quarantine must
+	// build up, and under a 64-page cache some of it must be dropped.
+	m.AttachFaults(plan)
+	churn(t, m, 250*sim.Millisecond)
+	if err := m.Eng.RunFor(250 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s1 := m.Cache.Stats()
+	if s1.QuarantineEvents == 0 {
+		t.Fatalf("phase 1 produced no quarantined pages; plan too weak for the test")
+	}
+	quarantineInvariant(t, "phase 1", m)
+	phases = append(phases, m.Robustness())
+	agg.Add(m.Robustness())
+
+	// Crash 1: all quarantine state must die with the machine.
+	nm, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = nm
+	if n := m.Cache.QuarantinedLen(); n != 0 {
+		t.Fatalf("recovery leaked %d quarantined pages into the new cache", n)
+	}
+	if s := m.Cache.Stats(); s.QuarantineEvents != 0 || s.LostPages != 0 || s.RequeuedPages != 0 {
+		t.Fatalf("recovered cache inherited quarantine counters: %+v", s)
+	}
+
+	// Phase 2: build quarantine again, then heal the device and requeue
+	// — the release half of the lifecycle — before crashing again.
+	inj := m.AttachFaults(plan)
+	_ = inj
+	churn(t, m, 150*sim.Millisecond)
+	if err := m.Eng.RunFor(150 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Stats().QuarantineEvents == 0 {
+		t.Fatalf("phase 2 produced no quarantined pages")
+	}
+	quarantineInvariant(t, "phase 2 (pre-requeue)", m)
+
+	held := int64(m.Cache.QuarantinedLen())
+	m.Disk.SetFaultInjector(nil)
+	for _, key := range m.Cache.Quarantined(nil) {
+		if !m.Cache.Requeue(key) {
+			t.Fatalf("requeue refused for quarantined key %v", key)
+		}
+	}
+	if got := m.Cache.Stats().RequeuedPages; got != held {
+		t.Fatalf("requeued %d pages, counter says %d", held, got)
+	}
+	if err := m.Eng.RunFor(100 * sim.Millisecond); err != nil { // let writeback drain cleanly
+		t.Fatal(err)
+	}
+	if n := m.Cache.QuarantinedLen(); n != 0 {
+		t.Fatalf("%d pages still quarantined after heal+requeue", n)
+	}
+	quarantineInvariant(t, "phase 2 (post-requeue)", m)
+	phases = append(phases, m.Robustness())
+	agg.Add(m.Robustness())
+
+	// Crash 2 (back-to-back): the repeated-recovery path must be just as
+	// clean as the first.
+	nm, err = m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = nm
+	if n := m.Cache.QuarantinedLen(); n != 0 {
+		t.Fatalf("second recovery leaked %d quarantined pages", n)
+	}
+	if s := m.Cache.Stats(); s.QuarantineEvents != 0 || s.LostPages != 0 {
+		t.Fatalf("second recovered cache inherited quarantine counters: %+v", s)
+	}
+
+	// Aggregation is exact: the summed Robustness record equals the sum
+	// of the per-phase records, field by field for the quarantine trio.
+	var want machine.Robustness
+	for _, ph := range phases {
+		want.Add(ph)
+	}
+	if agg.Quarantined != want.Quarantined || agg.Requeued != want.Requeued ||
+		agg.LostPages != want.LostPages {
+		t.Fatalf("aggregate drifted: got %+v want %+v", agg, want)
+	}
+}

@@ -51,6 +51,12 @@ type Config struct {
 	// device must stay free of foreground activity before maintenance
 	// I/O is dispatched). Zero keeps the scheduler default.
 	IdleGrace sim.Time
+	// Retry overrides the disk's retry/backoff/deadline policy, applied
+	// when fault injection is attached. The zero value preserves the
+	// historical behavior: storage.DefaultRetryPolicy() is armed the
+	// moment an injector attaches, so fault experiments that never set
+	// this field see an unchanged decision stream.
+	Retry storage.RetryPolicy
 	// Obs, when non-nil, enables the observability subsystem: the
 	// engine, disks, cache, Duet, and filesystems all record into it.
 	// Nil (the default) keeps every hot path on its probe-free branch.
@@ -91,6 +97,9 @@ func (c *Config) newDisk(e sim.Host, name string, model storage.Model) *storage.
 	d := storage.NewDisk(e, name, model, c.newScheduler())
 	if c.LegacyExec {
 		d.UseProcExecutor()
+	}
+	if c.Retry != (storage.RetryPolicy{}) {
+		d.SetRetryPolicy(c.Retry)
 	}
 	return d
 }

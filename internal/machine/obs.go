@@ -30,6 +30,11 @@ func enableObs(o *obs.Obs, e *sim.Engine, parts ...interface{ EnableObs(*obs.Obs
 	}
 }
 
+// PublishEngineMetrics exposes publishEngine for engine-owning layers
+// outside this package (the cluster tier assembles its own engine but
+// publishes the same kernel-level counters).
+func PublishEngineMetrics(r *obs.Registry, e *sim.Engine) { publishEngine(r, e) }
+
 // publishEngine absorbs the kernel-level quantities. The window
 // counters are zero for single-domain machines, which never window;
 // for sharded machines they quantify barrier overhead (rounds, idle

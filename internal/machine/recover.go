@@ -65,6 +65,11 @@ func (m *Machine) Recover() (*Machine, error) {
 		return nil, fmt.Errorf("machine: recover: %w", err)
 	}
 	nm.FS = fs
+	// New hooked its Duet into the new cache; that instance is being
+	// replaced, so detach it first — otherwise every recovery leaves an
+	// orphaned hook double-dispatching page events to a dead Duet (and a
+	// second crash of the same machine doubles it again).
+	nm.Cache.RemoveHook(nm.Duet)
 	nm.Duet = core.New(nm.Cache)
 	nm.Adapter = core.AttachCow(nm.Duet, fs)
 	// New wired the engine/disk/cache, but the remounted fs and fresh
@@ -96,6 +101,8 @@ func (m *LFSMachine) Recover(fscfg lfs.Config) (*LFSMachine, error) {
 		return nil, fmt.Errorf("machine: recover: %w", err)
 	}
 	nm.FS = fs
+	// Detach the Duet NewLFS hooked in before replacing it (see Recover).
+	nm.Cache.RemoveHook(nm.Duet)
 	nm.Duet = core.New(nm.Cache)
 	nm.Adapter = core.AttachLFS(nm.Duet, fs)
 	// Re-attach observability to the components NewLFS did not build.
@@ -124,6 +131,15 @@ type Robustness struct {
 	LostPages       int64 `json:"lost_pages"`
 	DegradedSess    int64 `json:"degraded_sessions"`
 	Commits         int64 `json:"commits"`
+
+	// Cluster-tier counters, zero for single-machine runs: machine
+	// kills injected, shard repairs completed, shard-time spent below
+	// full replication, and acknowledged blocks missing from any
+	// replica after repair (the invariant — must stay zero).
+	Kills             int64 `json:"kills"`
+	Repairs           int64 `json:"repairs"`
+	DegradedUs        int64 `json:"degraded_us"`
+	ClusterLostBlocks int64 `json:"cluster_lost_blocks"`
 }
 
 func robustness(d *storage.Disk, c *pagecache.Cache, du *core.Duet, commits int64) Robustness {
@@ -169,4 +185,8 @@ func (r *Robustness) Add(o Robustness) {
 	r.LostPages += o.LostPages
 	r.DegradedSess += o.DegradedSess
 	r.Commits += o.Commits
+	r.Kills += o.Kills
+	r.Repairs += o.Repairs
+	r.DegradedUs += o.DegradedUs
+	r.ClusterLostBlocks += o.ClusterLostBlocks
 }

@@ -376,6 +376,11 @@ func (c *Cache) AddHook(h Hook) {
 // SetAdvisor installs (or, with nil, removes) the eviction advisor.
 func (c *Cache) SetAdvisor(a EvictionAdvisor) { c.advisor = a }
 
+// HookCount returns the number of registered event hooks. Recovery
+// paths that rebuild a Duet instance use it to assert they did not
+// leave an orphaned hook behind.
+func (c *Cache) HookCount() int { return len(c.hooks) }
+
 // RemoveHook detaches a previously added hook. The hook list is
 // copy-on-write: removal while an event is being dispatched is safe —
 // the in-flight dispatch finishes over its snapshot (so the removed
@@ -997,6 +1002,38 @@ func (c *Cache) Quarantined(dst []PageKey) []PageKey {
 
 // QuarantinedLen returns the number of quarantined pages.
 func (c *Cache) QuarantinedLen() int { return len(c.quar) }
+
+// DropVolatile discards every cached page — clean, dirty, and
+// quarantined — without writeback: the power-cut primitive. In-engine
+// crash simulation (internal/cluster) calls it at the kill instant so
+// the abandoned cache's flusher has nothing left to persist; a real
+// power cut loses exactly this state. No Removed events are emitted:
+// the machine whose hooks cared about these pages is the one that just
+// died. Returns the number of pages dropped.
+func (c *Cache) DropVolatile() int {
+	n := 0
+	for pg := c.lruHead; pg != nil; n++ {
+		next := pg.lruNext
+		if cur, ok := c.pages.get(pg.Key); ok && cur == pg {
+			c.pages.del(pg.Key)
+		}
+		if pg.Dirty {
+			c.dirty.Delete(pg.Key)
+			pg.Dirty = false
+		}
+		pg.quarantined = false
+		c.fileRemove(pg)
+		pg.resident = false
+		pg.lruPrev, pg.lruNext = nil, nil
+		if pg.pins == 0 {
+			c.arena.release(pg)
+		}
+		pg = next
+	}
+	c.lruHead, c.lruTail = nil, nil
+	c.quar = c.quar[:0]
+	return n
+}
 
 // Requeue releases a quarantined page back into the writeback path —
 // called after the underlying fault is repaired (block remapped or

@@ -119,6 +119,10 @@ func (d *Disk) SetFaultInjector(in FaultInjector) {
 // attached.
 func (d *Disk) SetRetryPolicy(p RetryPolicy) { d.retry = p }
 
+// RetryPolicy returns the currently armed retry policy (the zero value
+// until an injector attaches or SetRetryPolicy is called).
+func (d *Disk) RetryPolicy() RetryPolicy { return d.retry }
+
 // BadBlocks returns the currently injected bad blocks in ascending
 // order. Recovery uses it to transplant medium state onto the disk of a
 // remounted machine.
